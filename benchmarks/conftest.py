@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+corresponding :mod:`repro.experiments` module and prints the reproduced rows,
+so ``pytest benchmarks/ --benchmark-only`` doubles as the full evaluation run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-grid",
+        action="store_true",
+        default=False,
+        help="run the full Fig. 8 grid and 128-GPU sweeps (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_grid(request):
+    """Whether to run the paper's complete (slow) sweeps."""
+    return request.config.getoption("--full-grid")
+
+
+@pytest.fixture(scope="session")
+def printed_results():
+    """Collects experiment tables and prints them at the end of the session."""
+    collected: list[str] = []
+    yield collected
+    if collected:
+        print("\n\n========== Reproduced tables and figures ==========\n")
+        for text in collected:
+            print(text)
+            print()

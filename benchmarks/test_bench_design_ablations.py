@@ -1,0 +1,125 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+These go beyond the paper's Fig. 11 component ablation and quantify the
+individual design decisions inside the components:
+
+* zigzag (causal-balanced) chunk assignment vs a contiguous even split,
+* the minimax LP remapping solver vs the locality-aware greedy fallback,
+* the number of proxy ranks the routing layer engages per inter-node hop,
+* sensitivity of the end-to-end result to the cluster's NIC count (the
+  GPU-NIC affinity axis the paper varies between Clusters A and B).
+"""
+
+import pytest
+
+from repro.cluster.presets import make_cluster
+from repro.core.remapping import RemappingLayer
+from repro.core.routing import RoutingLayer
+from repro.core.strategy import StrategyContext
+from repro.core.zeppelin import ZeppelinStrategy
+from repro.data.datasets import SyntheticDataset, single_sequence_batch
+from repro.model.memory import kv_bytes_per_token
+from repro.model.spec import get_model
+from repro.sim.engine import Simulator
+from repro.training.throughput import measure_throughput
+
+
+@pytest.fixture(scope="module")
+def context_16():
+    cluster = make_cluster(
+        name="ClusterA", num_nodes=2, gpus_per_node=8, device_type="A800",
+        nics_per_node=4, nic_gbps=200.0, intra_node_gBps=400.0,
+    )
+    return StrategyContext(cluster=cluster, spec=get_model("7b"), token_budget=4096)
+
+
+def test_bench_zigzag_vs_contiguous_chunking(benchmark, context_16, printed_results):
+    """Causal-balanced chunking beats a contiguous even split for a long sequence."""
+    batch = single_sequence_batch(16 * 4096)
+    sim = Simulator(record_trace=False)
+
+    def run_both():
+        balanced = ZeppelinStrategy(context_16, balanced_chunking=True)
+        contiguous = ZeppelinStrategy(context_16, balanced_chunking=False)
+        return (
+            sim.run(balanced.plan_layer(batch)).makespan_s,
+            sim.run(contiguous.plan_layer(batch)).makespan_s,
+        )
+
+    balanced_s, contiguous_s = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    printed_results.append(
+        "design ablation: zigzag chunking layer makespan "
+        f"{balanced_s * 1000:.2f} ms vs contiguous {contiguous_s * 1000:.2f} ms "
+        f"({contiguous_s / balanced_s:.2f}x slower without causal balance)"
+    )
+    assert balanced_s < contiguous_s
+
+
+def test_bench_remap_solver_lp_vs_greedy(benchmark, context_16, printed_results):
+    """The LP solver's minimax cost is never worse than the greedy fallback."""
+    cluster = context_16.cluster
+    counts = {r: (9000 if r < 4 else (500 if r < 12 else 3000)) for r in cluster.iter_ranks()}
+
+    def solve_both():
+        lp = RemappingLayer(cluster=cluster, solver="linprog").plan(counts, bytes_per_token=8192)
+        greedy = RemappingLayer(cluster=cluster, solver="greedy").plan(counts, bytes_per_token=8192)
+        return lp, greedy
+
+    lp_plan, greedy_plan = benchmark.pedantic(solve_both, rounds=1, iterations=1)
+    printed_results.append(
+        "design ablation: remapping minimax cost LP "
+        f"{lp_plan.max_rank_cost_s * 1e6:.1f} us vs greedy "
+        f"{greedy_plan.max_rank_cost_s * 1e6:.1f} us"
+    )
+    assert lp_plan.max_rank_cost_s <= greedy_plan.max_rank_cost_s * 1.001
+
+
+def test_bench_routing_proxy_count_sweep(benchmark, context_16, printed_results):
+    """Eq. (1): more proxy ranks monotonically reduce the inter-node hop cost."""
+    cluster = context_16.cluster
+    routing = RoutingLayer(cluster=cluster)
+    nbytes = 4096 * kv_bytes_per_token(get_model("7b"))
+
+    def sweep():
+        return {x: routing.routed_cost(nbytes, x, x) for x in (1, 2, 4, 8)}
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    printed_results.append(
+        "design ablation: routed hop cost by proxy count "
+        + ", ".join(f"x={x}: {c * 1e6:.0f} us" for x, c in costs.items())
+    )
+    assert costs[8] < costs[4] < costs[2] < costs[1]
+    # With 8 proxies over 4 NICs the cost approaches the NIC-count bound.
+    assert costs[1] / costs[8] > 2.5
+
+
+def test_bench_nic_count_sensitivity(benchmark, printed_results):
+    """Zeppelin's advantage persists when every GPU has its own NIC (Cluster B-like
+    affinity), and the baseline gains little from the extra NICs."""
+    spec = get_model("7b")
+
+    def run_sensitivity():
+        results = {}
+        for nics in (2, 4, 8):
+            cluster = make_cluster(
+                name=f"A-{nics}nic", num_nodes=2, gpus_per_node=8, device_type="A800",
+                nics_per_node=nics, nic_gbps=200.0, intra_node_gBps=400.0,
+            )
+            context = StrategyContext(cluster=cluster, spec=spec, token_budget=4096)
+            batches = SyntheticDataset(name="arxiv", total_context=64 * 1024, seed=0).batches(1)
+            from repro.baselines.te_cp import TransformerEngineCPStrategy
+
+            te = measure_throughput(TransformerEngineCPStrategy(context), batches)
+            zeppelin = measure_throughput(ZeppelinStrategy(context), batches)
+            results[nics] = (te.tokens_per_second, zeppelin.tokens_per_second)
+        return results
+
+    results = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    printed_results.append(
+        "design ablation: NIC-count sensitivity (TE CP vs Zeppelin tokens/s) "
+        + ", ".join(f"{n} NICs: {round(te)}/{round(z)}" for n, (te, z) in results.items())
+    )
+    for nics, (te, z) in results.items():
+        assert z > te
+    # TE CP's single-NIC ring hop barely benefits from extra NICs.
+    assert results[8][0] < results[2][0] * 1.3

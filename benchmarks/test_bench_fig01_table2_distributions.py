@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Fig. 1 and Table 2 (dataset length distributions)."""
+
+from repro.experiments import fig01_length_distributions, table2_dataset_distributions
+
+
+def test_bench_fig01_length_distributions(benchmark, printed_results):
+    result = benchmark.pedantic(
+        lambda: fig01_length_distributions.run(samples_per_dataset=20000),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    assert len(result.rows) == 7
+    # Sampling reproduces the target histograms.
+    assert all(row[-1] < 0.05 for row in result.rows)
+
+
+def test_bench_table2_dataset_distributions(benchmark, printed_results):
+    result = benchmark.pedantic(table2_dataset_distributions.run, rounds=1, iterations=1)
+    printed_results.append(result.to_text())
+    assert {row[0] for row in result.rows} == {"arxiv", "github", "prolong64k"}

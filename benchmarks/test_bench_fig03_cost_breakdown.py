@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 3 (attention cost breakdown by length bin)."""
+
+from repro.experiments import fig03_attention_cost_breakdown
+
+
+def test_bench_fig03_attention_cost_breakdown(benchmark, printed_results):
+    result = benchmark.pedantic(
+        lambda: fig03_attention_cost_breakdown.run(
+            datasets=("arxiv", "github", "stackexchange", "prolong64")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    # Redundant cross-sequence computation appears only in the packing scheme.
+    packing_redundant = sum(r[5] for r in result.rows if r[0] == "pack+ulysses")
+    cp_redundant = sum(r[5] for r in result.rows if r[0] == "even-split ring CP")
+    assert packing_redundant > 0.0
+    assert cp_redundant == 0.0

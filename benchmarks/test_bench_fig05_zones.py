@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 5 (cost curves and zone boundaries)."""
+
+from repro.experiments import fig05_zone_boundaries
+
+
+def test_bench_fig05_zone_boundaries(benchmark, printed_results):
+    result = benchmark.pedantic(fig05_zone_boundaries.run, rounds=1, iterations=1)
+    printed_results.append(result.to_text())
+    thresholds = result.extra["thresholds"]
+    printed_results.append(
+        f"fig5 zone thresholds: local < {thresholds['local_max']} tokens, "
+        f"inter-node >= {thresholds['intra_max']} tokens"
+    )
+    # The paper's crossover between compute and single-NIC transfer sits in the
+    # 8-16k band for a 7B model on A800s.
+    assert 4 * 1024 <= thresholds["intra_max"] <= 32 * 1024

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 8 (end-to-end throughput grid).
+
+The default run sweeps the smallest cell of every model family on all three
+datasets; pass ``--full-grid`` to regenerate the paper's complete 12-cell grid
+(several minutes).
+"""
+
+from repro.experiments import fig08_end_to_end
+
+
+def test_bench_fig08_end_to_end(benchmark, printed_results, full_grid):
+    result = benchmark.pedantic(
+        lambda: fig08_end_to_end.run(full_grid=full_grid, num_steps=1),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    zeppelin_speedups = result.column("zeppelin_speedup")
+    te_speedups = result.column("te_cp_speedup")
+    # TE CP is the 1x baseline of every cell; Zeppelin wins every cell with the
+    # paper-scale margin (average 2.80x in the paper).
+    assert all(abs(s - 1.0) < 1e-6 for s in te_speedups)
+    assert all(s > 1.3 for s in zeppelin_speedups)
+    assert sum(zeppelin_speedups) / len(zeppelin_speedups) > 2.0
+    for row in result.rows:
+        te, llama, hybrid, zeppelin = row[-4:]
+        assert zeppelin >= max(llama, hybrid)

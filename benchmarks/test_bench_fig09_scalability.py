@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 9 (3B scalability on Cluster A)."""
+
+from repro.experiments import fig09_scalability
+
+
+def test_bench_fig09_scalability(benchmark, printed_results, full_grid):
+    gpu_counts = (
+        fig09_scalability.FULL_GPU_COUNTS if full_grid else fig09_scalability.DEFAULT_GPU_COUNTS
+    )
+    result = benchmark.pedantic(
+        lambda: fig09_scalability.run(gpu_counts=gpu_counts, num_steps=1),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    smallest, largest = gpu_counts[0], gpu_counts[-1]
+    for dataset in ("arxiv", "github", "prolong64k"):
+        small = result.extra[(dataset, smallest)]
+        large = result.extra[(dataset, largest)]
+        # TE CP stays nearly flat; Zeppelin keeps scaling (Fig. 9's headline).
+        assert large["te_cp"] < small["te_cp"] * 2.0
+        assert large["zeppelin"] > small["zeppelin"] * 1.5
+        assert large["zeppelin"] > large["hybrid_dp"]
+        assert large["zeppelin"] > large["llama_cp"]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 10 (Cluster A vs Cluster B comparison)."""
+
+from repro.experiments import fig10_cluster_comparison
+
+
+def test_bench_fig10_cluster_comparison(benchmark, printed_results):
+    result = benchmark.pedantic(
+        lambda: fig10_cluster_comparison.run(num_steps=1),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    for dataset in ("arxiv", "github", "prolong64k"):
+        a = result.extra[("A", dataset)]
+        b = result.extra[("B", dataset)]
+        # Zeppelin wins on both clusters; Cluster B's Hopper GPUs give it a
+        # higher absolute throughput.
+        assert a["zeppelin"] == max(a.values())
+        assert b["zeppelin"] == max(b.values())
+        assert b["zeppelin"] > a["zeppelin"]

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 11 (component ablation)."""
+
+from repro.experiments import fig11_ablation
+
+
+def test_bench_fig11_ablation(benchmark, printed_results):
+    result = benchmark.pedantic(
+        lambda: fig11_ablation.run(num_steps=1),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    for dataset in ("arxiv", "github", "prolong64k"):
+        speedups = result.extra[dataset]
+        # Routing alone and the attention engine alone each beat the baseline;
+        # combining them is at least as good as the better of the two (within
+        # tolerance); the remapping layer does not regress the full system.
+        assert speedups["w/ Routing"] > 1.05
+        assert speedups["w/ Attn Eng"] > 1.05
+        combined = speedups["w/ Routing & Attn Eng"]
+        assert combined >= max(speedups["w/ Routing"], speedups["w/ Attn Eng"]) * 0.9
+        assert speedups["w/ All"] >= combined * 0.95

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 12 (attention timeline analysis)."""
+
+from repro.costs.calibration import get_calibration
+from repro.experiments import fig12_timeline
+
+
+def test_bench_fig12_timeline(benchmark, printed_results):
+    result = benchmark.pedantic(fig12_timeline.run, rounds=1, iterations=1)
+    printed_results.append(result.to_text())
+
+    te = result.extra["a) TE CP, single 64k sequence"]
+    zeppelin = result.extra["b) Zeppelin, single 64k sequence"]
+    many = result.extra["c) Zeppelin, 16 x 4k sequences"]
+
+    # Fig. 12.a/b: routing cuts the per-round inter-node transfer roughly in
+    # proportion to the NIC count (published: 2.18 ms -> 411 us).
+    te_point = get_calibration("fig12_te_inter_node_round")
+    z_point = get_calibration("fig12_zeppelin_inter_node_round")
+    assert te["per_round_inter_comm_s"] == te_point.value_s or abs(
+        te["per_round_inter_comm_s"] - te_point.value_s
+    ) / te_point.value_s <= te_point.rtol
+    assert zeppelin["per_round_inter_comm_s"] < te["per_round_inter_comm_s"] / 2
+    assert abs(zeppelin["per_round_inter_comm_s"] - z_point.value_s) / z_point.value_s <= 2.0
+
+    # Fig. 12.c: many short sequences avoid inter-node communication entirely.
+    assert many["summary"]["total_inter_comm_s"] == 0.0
+    assert many["makespan_s"] < te["makespan_s"]

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table 3 (cost distribution, balanced vs skewed)."""
+
+from repro.experiments import table3_cost_distribution
+
+
+def test_bench_table3_cost_distribution(benchmark, printed_results, full_grid):
+    num_gpus = 32 if full_grid else 16
+    total_context = 128 * 1024 if full_grid else 64 * 1024
+    result = benchmark.pedantic(
+        lambda: table3_cost_distribution.run(
+            num_gpus=num_gpus, total_context=total_context
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+    balanced = result.extra["Balanced"]
+    skewed = result.extra["Skewed"]
+    # The paper's observations: backward exceeds forward, attention dominates
+    # the skewed batch, and remapping / partitioning overheads are negligible
+    # compared to the end-to-end cost.
+    assert balanced["Backward"][1] > balanced["Forward"][0]
+    assert skewed["Forward Quadratic Attention"][1] > 0
+    assert balanced["Forward Remapping Layer"][1] < balanced["Forward"][1] * 0.2
+    assert balanced["Forward Sequence Partition"][1] < balanced["Forward"][1]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Long-context scaling study: how strategies behave as context grows.
+
+Trains the 3B model on ProLong-64k-style data (the long-context recipe the
+paper's introduction motivates) while scaling the cluster from 16 to 64 GPUs at
+a fixed 4k tokens per GPU, i.e. total contexts of 64k to 256k tokens.  Prints
+the throughput of every strategy at every scale plus the parallel efficiency of
+Zeppelin relative to its 16-GPU configuration.
+
+Run with::
+
+    python examples/long_context_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.utils.tables import render_table
+
+GPU_COUNTS = (16, 32, 64)
+STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+TOKENS_PER_GPU = 4096
+
+
+def main() -> None:
+    rows = []
+    zeppelin_by_scale = {}
+    for gpus in GPU_COUNTS:
+        config = TrainingRunConfig(
+            model="3b",
+            cluster_preset="A",
+            num_gpus=gpus,
+            dataset="prolong64k",
+            total_context=TOKENS_PER_GPU * gpus,
+            num_steps=2,
+            seed=1,
+        )
+        run = TrainingRun(config)
+        throughputs = {}
+        for name in STRATEGIES:
+            throughputs[name] = run.run_strategy(name).tokens_per_second
+        zeppelin_by_scale[gpus] = throughputs["zeppelin"]
+        rows.append(
+            [
+                gpus,
+                f"{TOKENS_PER_GPU * gpus // 1024}k",
+                *[round(throughputs[name]) for name in STRATEGIES],
+                f"{throughputs['zeppelin'] / throughputs['te_cp']:.2f}x",
+            ]
+        )
+
+    headers = ["gpus", "context", "te_cp", "llama_cp", "hybrid_dp", "zeppelin", "zeppelin vs te_cp"]
+    print(render_table(headers, rows, title="ProLong-64k long-context scaling (3B, Cluster A)"))
+    print()
+
+    base_gpus = GPU_COUNTS[0]
+    for gpus in GPU_COUNTS[1:]:
+        ideal = zeppelin_by_scale[base_gpus] * gpus / base_gpus
+        efficiency = zeppelin_by_scale[gpus] / ideal
+        print(
+            f"Zeppelin parallel efficiency at {gpus} GPUs "
+            f"(vs {base_gpus} GPUs): {efficiency:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

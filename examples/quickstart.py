@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: compare Zeppelin against the baselines on one configuration.
+
+Builds the paper's smallest evaluation cell — a LLaMA-7B model on 16 A800 GPUs
+(2 nodes of Cluster A) with a 64k-token context sampled from the ArXiv length
+distribution — and reports the training throughput of TE CP, LLaMA CP,
+Hybrid DP and Zeppelin on identical batches.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.training.throughput import speedup_table
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    config = TrainingRunConfig(
+        model="7b",
+        cluster_preset="A",
+        num_gpus=16,
+        dataset="arxiv",
+        total_context=64 * 1024,
+        num_steps=3,
+        seed=0,
+    )
+    run = TrainingRun(config)
+    print(run.cluster.describe())
+    print(
+        f"model: {run.spec.name} ({run.spec.num_parameters / 1e9:.1f}B params), "
+        f"dataset: {config.dataset}, context: {config.total_context // 1024}k tokens, "
+        f"{config.num_steps} steps"
+    )
+    print()
+
+    reports = run.compare(("te_cp", "llama_cp", "hybrid_dp", "zeppelin"))
+    rows = [
+        [r["strategy"], round(r["tokens_per_second"]), f"{r['speedup']:.2f}x"]
+        for r in speedup_table(reports)
+    ]
+    print(render_table(["strategy", "tokens/second", "speedup vs TE CP"], rows))
+    print()
+    zeppelin = reports[-1]
+    baseline = reports[0]
+    print(
+        f"Zeppelin processes {zeppelin.tokens_per_second / baseline.tokens_per_second:.2f}x "
+        f"more tokens per second than the TE CP baseline on this configuration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Numerical check: Zeppelin's chunked attention layouts are exact.
+
+The scheduling layers only move tokens around; this example demonstrates with
+the NumPy reference stack that the three execution styles Zeppelin uses all
+produce bit-for-bit (up to float round-off) the same attention output as a
+monolithic causal kernel:
+
+* blockwise (online-softmax) accumulation,
+* zigzag ring attention across a group of ranks,
+* packed variable-length attention with a block-diagonal mask,
+
+and quantifies how much compute the *naive* packed kernel wastes on
+cross-sequence positions (the Fig. 3.a redundancy).
+
+Run with::
+
+    python examples/ring_attention_correctness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.refattn.attention import causal_attention, random_qkv
+from repro.refattn.online_softmax import blockwise_causal_attention
+from repro.refattn.ring import ring_attention, zigzag_chunk_token_counts
+from repro.refattn.varlen import (
+    cross_sequence_flops_fraction,
+    per_sequence_attention,
+    varlen_attention,
+)
+
+
+def max_error(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.max(np.abs(a - b)))
+
+
+def main() -> None:
+    seq_len, heads, head_dim = 512, 4, 32
+    q, k, v = random_qkv(seq_len, heads=heads, head_dim=head_dim, seed=42)
+    reference = causal_attention(q, k, v)
+    print(f"reference causal attention: seq={seq_len}, heads={heads}, head_dim={head_dim}")
+
+    block = blockwise_causal_attention(q, k, v, block_size=64)
+    print(f"blockwise (online softmax)     max |error| = {max_error(block, reference):.2e}")
+
+    for group_size in (2, 4, 8):
+        result = ring_attention(q, k, v, group_size=group_size)
+        counts = zigzag_chunk_token_counts(seq_len, group_size)
+        print(
+            f"zigzag ring attention (G={group_size})  max |error| = "
+            f"{max_error(result.combined, reference):.2e}  "
+            f"(per-rank tokens: {counts})"
+        )
+
+    # Packed variable-length attention over four sequences.
+    lengths = [192, 128, 128, 64]
+    qp, kp, vp = random_qkv(sum(lengths), heads=heads, head_dim=head_dim, seed=7)
+    packed = varlen_attention(qp, kp, vp, lengths, cross_sequence=False)
+    per_seq = per_sequence_attention(qp, kp, vp, lengths)
+    print(
+        f"packed varlen attention        max |error| = {max_error(packed, per_seq):.2e}  "
+        f"(lengths {lengths})"
+    )
+
+    naive = varlen_attention(qp, kp, vp, lengths, cross_sequence=True)
+    polluted = max_error(naive, per_seq)
+    waste = cross_sequence_flops_fraction(lengths)
+    print(
+        f"NAIVE packed kernel            max |error| = {polluted:.2e}  "
+        f"<- cross-sequence attention corrupts outputs"
+    )
+    print(
+        f"and wastes {waste:.0%} of its attention FLOPs on cross-sequence positions "
+        f"(the Fig. 3.a redundancy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

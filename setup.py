@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by ``pyproject.toml``; this file only enables
+legacy ``pip install -e .`` (setup.py develop) on interpreters whose setuptools
+cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Zeppelin reproduction: balancing variable-length workloads in data-parallel training.
+
+This package reproduces the system described in *Zeppelin: Balancing
+Variable-length Workloads in Data Parallel Large Model Training* (EUROSYS
+2026).  It provides:
+
+* the four Zeppelin layers — hierarchical sequence partitioner, attention
+  engine, communication routing layer and remapping layer (:mod:`repro.core`),
+* the baselines the paper compares against (:mod:`repro.baselines`),
+* the substrates they run on: a cluster topology model, analytical cost
+  models, synthetic variable-length workloads, a NumPy reference attention
+  stack and a discrete-event simulator,
+* a training runner reporting tokens/second (:mod:`repro.training`), and
+* one experiment module per paper figure/table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.training.runner import TrainingRun, TrainingRunConfig
+
+    run = TrainingRun(TrainingRunConfig(model="7b", num_gpus=16, dataset="arxiv"))
+    for report in run.compare():
+        print(report.strategy, round(report.tokens_per_second))
+"""
+
+from repro.cluster.presets import cluster_a, cluster_b, cluster_c, make_cluster
+from repro.core.strategy import Strategy, StrategyContext
+from repro.core.zeppelin import ZeppelinStrategy
+from repro.data.sampler import Batch, Sequence
+from repro.model.spec import get_model
+from repro.training.runner import TrainingRun, TrainingRunConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster_a",
+    "cluster_b",
+    "cluster_c",
+    "make_cluster",
+    "Strategy",
+    "StrategyContext",
+    "ZeppelinStrategy",
+    "Batch",
+    "Sequence",
+    "get_model",
+    "TrainingRun",
+    "TrainingRunConfig",
+    "__version__",
+]

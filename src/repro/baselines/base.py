@@ -1,0 +1,11 @@
+"""Re-export of the strategy interface.
+
+The :class:`Strategy` base class and :class:`StrategyContext` live in
+:mod:`repro.core.strategy` (the core package must not depend on the baselines
+package); they are re-exported here so baseline implementations and user code
+can import them from the natural location.
+"""
+
+from repro.core.strategy import Strategy, StrategyContext
+
+__all__ = ["Strategy", "StrategyContext"]

@@ -1,0 +1,137 @@
+"""Command-line interface for the Zeppelin reproduction.
+
+Two subcommands:
+
+* ``compare`` — run one evaluation cell (model, cluster, dataset, context,
+  scale) and print the throughput of the selected strategies side by side::
+
+      python -m repro compare --model 7b --dataset arxiv --gpus 16 --context-k 64
+
+* ``experiment`` — regenerate one of the paper's tables/figures by name::
+
+      python -m repro experiment fig11
+      python -m repro experiment table3
+
+The same functionality is available programmatically through
+:class:`repro.training.runner.TrainingRun` and :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+from repro.training.runner import STRATEGY_NAMES, TrainingRun, TrainingRunConfig
+from repro.training.throughput import speedup_table
+from repro.utils.tables import render_table
+
+# Experiment name -> module (one per paper figure/table).
+EXPERIMENT_MODULES = {
+    "fig1": "repro.experiments.fig01_length_distributions",
+    "fig3": "repro.experiments.fig03_attention_cost_breakdown",
+    "fig5": "repro.experiments.fig05_zone_boundaries",
+    "fig8": "repro.experiments.fig08_end_to_end",
+    "fig9": "repro.experiments.fig09_scalability",
+    "fig10": "repro.experiments.fig10_cluster_comparison",
+    "fig11": "repro.experiments.fig11_ablation",
+    "fig12": "repro.experiments.fig12_timeline",
+    "table2": "repro.experiments.table2_dataset_distributions",
+    "table3": "repro.experiments.table3_cost_distribution",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zeppelin reproduction: strategy comparison and paper experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="compare strategies on one configuration")
+    compare.add_argument("--model", default="7b", help="model preset (3b/7b/13b/30b/8x550m)")
+    compare.add_argument("--cluster", default="A", choices=["A", "B", "C"], help="cluster preset")
+    compare.add_argument("--gpus", type=int, default=16, help="total GPUs (multiple of 8)")
+    compare.add_argument("--dataset", default="arxiv", help="length distribution name")
+    compare.add_argument("--context-k", type=int, default=64, help="total context in k tokens")
+    compare.add_argument("--tensor-parallel", type=int, default=1, help="TP degree")
+    compare.add_argument("--steps", type=int, default=2, help="batches to average over")
+    compare.add_argument("--seed", type=int, default=0, help="batch sampling seed")
+    compare.add_argument(
+        "--strategies",
+        nargs="+",
+        default=["te_cp", "llama_cp", "hybrid_dp", "zeppelin"],
+        choices=list(STRATEGY_NAMES),
+        help="strategies to compare (first is the speedup baseline)",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    experiment.add_argument(
+        "name", choices=sorted(EXPERIMENT_MODULES), help="experiment identifier"
+    )
+
+    list_cmd = sub.add_parser("list", help="list available models, datasets and experiments")
+    del list_cmd
+    return parser
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    """Execute the ``compare`` subcommand."""
+    config = TrainingRunConfig(
+        model=args.model,
+        cluster_preset=args.cluster,
+        num_gpus=args.gpus,
+        dataset=args.dataset,
+        total_context=args.context_k * 1024,
+        tensor_parallel=args.tensor_parallel,
+        num_steps=args.steps,
+        seed=args.seed,
+    )
+    run = TrainingRun(config)
+    print(run.cluster.describe())
+    reports = [run.run_strategy(name) for name in args.strategies]
+    rows = [
+        [r["strategy"], round(r["tokens_per_second"]), f"{r['speedup']:.2f}x"]
+        for r in speedup_table(reports)
+    ]
+    print(render_table(["strategy", "tokens/second", "speedup"], rows))
+    return 0
+
+
+def run_experiment(args: argparse.Namespace) -> int:
+    """Execute the ``experiment`` subcommand."""
+    module = importlib.import_module(EXPERIMENT_MODULES[args.name])
+    module.main()
+    return 0
+
+
+def run_list() -> int:
+    """Execute the ``list`` subcommand."""
+    from repro.data.distributions import available_distributions
+    from repro.model.spec import available_models
+
+    print("models:     ", ", ".join(available_models()))
+    print("datasets:   ", ", ".join(available_distributions()))
+    print("strategies: ", ", ".join(STRATEGY_NAMES))
+    print("experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return run_compare(args)
+    if args.command == "experiment":
+        return run_experiment(args)
+    if args.command == "list":
+        return run_list()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

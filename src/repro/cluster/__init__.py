@@ -1,0 +1,33 @@
+"""Cluster topology model: nodes, GPUs, NICs, and bandwidth hierarchy.
+
+This subpackage is the hardware substrate the paper's evaluation runs on.  The
+real clusters (A800/H800/H200 nodes connected by NVSwitch intra-node and
+RoCE/CX7 NICs inter-node) are replaced by an explicit topology description with
+the same structure: per-node device lists, per-NIC bandwidth, GPU-to-NIC
+affinity, and intra-node switch bandwidth.  Every scheduling decision Zeppelin
+makes depends only on this structural information.
+"""
+
+from repro.cluster.topology import GPU, NIC, Node, Cluster
+from repro.cluster.bandwidth import LinkModel, BandwidthProfile
+from repro.cluster.presets import (
+    cluster_a,
+    cluster_b,
+    cluster_c,
+    make_cluster,
+    CLUSTER_PRESETS,
+)
+
+__all__ = [
+    "GPU",
+    "NIC",
+    "Node",
+    "Cluster",
+    "LinkModel",
+    "BandwidthProfile",
+    "cluster_a",
+    "cluster_b",
+    "cluster_c",
+    "make_cluster",
+    "CLUSTER_PRESETS",
+]

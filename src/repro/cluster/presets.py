@@ -1,0 +1,189 @@
+"""Cluster presets matching the paper's evaluation testbeds (§5).
+
+* **Cluster A** — 8x NVIDIA A800-80G per node, NVSwitch with 400 GB/s intra-node
+  bandwidth, 4 RoCE NICs of 200 Gb/s each, every NIC shared by 2 GPUs.
+* **Cluster B** — 8x NVIDIA H800 per node, 8 RoCE NICs (one per GPU).
+* **Cluster C** — 8x NVIDIA H200 per node, 8 CX7 NICs of 400 Gb/s each
+  (one-to-one GPU-NIC mapping).
+
+Peak FLOP/s figures are the published dense BF16 numbers for each part; they
+only matter through the compute/communication *ratios* they induce, which is
+what drives zone boundaries and speedups.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.bandwidth import BandwidthProfile, LinkModel, gBps, gbps
+from repro.cluster.topology import GPU, NIC, Cluster, Node
+from repro.utils.validation import check_positive
+
+# Published dense BF16 peak throughput (FLOP/s).
+_DEVICE_PEAK_FLOPS = {
+    "A800": 312e12,
+    "H800": 990e12,
+    "H200": 990e12,
+}
+
+# HBM capacity per device (bytes).
+_DEVICE_MEMORY = {
+    "A800": 80e9,
+    "H800": 80e9,
+    "H200": 141e9,
+}
+
+# Default per-message latencies.
+_INTRA_NODE_LATENCY_S = 3e-6
+_INTER_NODE_LATENCY_S = 10e-6
+
+
+def make_cluster(
+    name: str,
+    num_nodes: int,
+    gpus_per_node: int = 8,
+    device_type: str = "A800",
+    nics_per_node: int = 4,
+    nic_gbps: float = 200.0,
+    intra_node_gBps: float = 400.0,
+    description: str = "",
+) -> Cluster:
+    """Build a homogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Cluster name used in experiment output.
+    num_nodes:
+        Number of nodes.
+    gpus_per_node:
+        GPUs per node (the paper's ``P``).
+    device_type:
+        One of ``"A800"``, ``"H800"``, ``"H200"``.
+    nics_per_node:
+        NICs installed in each node.  GPUs are assigned to NICs contiguously,
+        so ``gpus_per_node // nics_per_node`` GPUs share one NIC.
+    nic_gbps:
+        Per-NIC bandwidth in Gb/s.
+    intra_node_gBps:
+        NVSwitch bandwidth in GB/s.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("gpus_per_node", gpus_per_node)
+    check_positive("nics_per_node", nics_per_node)
+    if device_type not in _DEVICE_PEAK_FLOPS:
+        raise ValueError(
+            f"unknown device type {device_type!r}; expected one of "
+            f"{sorted(_DEVICE_PEAK_FLOPS)}"
+        )
+    if gpus_per_node % nics_per_node != 0:
+        raise ValueError("gpus_per_node must be divisible by nics_per_node")
+
+    gpus_per_nic = gpus_per_node // nics_per_node
+    intra_link = LinkModel(
+        bandwidth_bytes_per_s=gBps(intra_node_gBps), latency_s=_INTRA_NODE_LATENCY_S
+    )
+    nic_link = LinkModel(
+        bandwidth_bytes_per_s=gbps(nic_gbps), latency_s=_INTER_NODE_LATENCY_S
+    )
+    profile = BandwidthProfile(
+        intra_node=intra_link,
+        nic=nic_link,
+        nics_per_node=nics_per_node,
+        gpus_per_nic=gpus_per_nic,
+    )
+
+    peak = _DEVICE_PEAK_FLOPS[device_type]
+    memory = _DEVICE_MEMORY[device_type]
+
+    nodes = []
+    nic_counter = 0
+    for node_id in range(num_nodes):
+        gpus = []
+        nics = []
+        for nic_local in range(nics_per_node):
+            local_ranks = tuple(
+                nic_local * gpus_per_nic + i for i in range(gpus_per_nic)
+            )
+            nics.append(
+                NIC(
+                    nic_id=nic_counter,
+                    node_id=node_id,
+                    local_index=nic_local,
+                    link=nic_link,
+                    gpu_local_ranks=local_ranks,
+                )
+            )
+            nic_counter += 1
+        for local_rank in range(gpus_per_node):
+            nic_local = local_rank // gpus_per_nic
+            gpus.append(
+                GPU(
+                    global_rank=node_id * gpus_per_node + local_rank,
+                    node_id=node_id,
+                    local_rank=local_rank,
+                    nic_id=nics[nic_local].nic_id,
+                    device_type=device_type,
+                    peak_flops=peak,
+                    memory_bytes=memory,
+                )
+            )
+        nodes.append(
+            Node(
+                node_id=node_id,
+                gpus=tuple(gpus),
+                nics=tuple(nics),
+                intra_node_link=intra_link,
+            )
+        )
+
+    return Cluster(
+        name=name, nodes=tuple(nodes), profile=profile, description=description
+    )
+
+
+def cluster_a(num_nodes: int = 2) -> Cluster:
+    """Cluster A: 8x A800-80G, NVSwitch 400 GB/s, 4x 200 Gb/s RoCE NICs per node."""
+    return make_cluster(
+        name="ClusterA",
+        num_nodes=num_nodes,
+        gpus_per_node=8,
+        device_type="A800",
+        nics_per_node=4,
+        nic_gbps=200.0,
+        intra_node_gBps=400.0,
+        description="A800 nodes, 2 GPUs share each 200 Gb/s NIC",
+    )
+
+
+def cluster_b(num_nodes: int = 2) -> Cluster:
+    """Cluster B: 8x H800, 8 RoCE NICs per node (one per GPU)."""
+    return make_cluster(
+        name="ClusterB",
+        num_nodes=num_nodes,
+        gpus_per_node=8,
+        device_type="H800",
+        nics_per_node=8,
+        nic_gbps=200.0,
+        intra_node_gBps=400.0,
+        description="H800 nodes, one 200 Gb/s NIC per GPU",
+    )
+
+
+def cluster_c(num_nodes: int = 2) -> Cluster:
+    """Cluster C: 8x H200, 8x 400 Gb/s CX7 NICs per node (one per GPU)."""
+    return make_cluster(
+        name="ClusterC",
+        num_nodes=num_nodes,
+        gpus_per_node=8,
+        device_type="H200",
+        nics_per_node=8,
+        nic_gbps=400.0,
+        intra_node_gBps=900.0,
+        description="H200 nodes, one 400 Gb/s CX7 NIC per GPU",
+    )
+
+
+CLUSTER_PRESETS = {
+    "A": cluster_a,
+    "B": cluster_b,
+    "C": cluster_c,
+}

@@ -1,0 +1,60 @@
+"""Zeppelin's core: partitioner, attention engine, routing layer, remapping layer.
+
+The modules in this package implement the paper's contribution (§3):
+
+* :mod:`repro.core.plan` — the task-graph representation every strategy emits
+  and the simulator executes.
+* :mod:`repro.core.zones` — the local / intra-node / inter-node zone analysis
+  of Fig. 5.
+* :mod:`repro.core.partitioner` — Alg. 1 (inter-node) and Alg. 2 (intra-node)
+  hierarchical sequence partitioning.
+* :mod:`repro.core.chunking` — the causal-balanced zigzag chunk assignment of
+  Fig. 6.
+* :mod:`repro.core.attention_engine` — queue construction and ring-round
+  scheduling (inter-node -> intra-node -> local).
+* :mod:`repro.core.routing` — the three-step communication routing layer and
+  its Eq. (1) cost model.
+* :mod:`repro.core.remapping` — the Eq. (2) minimax transfer optimisation that
+  re-balances tokens for linear modules.
+* :mod:`repro.core.zeppelin` — the full strategy gluing the layers together.
+"""
+
+from repro.core.plan import ExecutionPlan, Task, TaskKind
+from repro.core.strategy import Strategy, StrategyContext
+from repro.core.zones import Zone, ZoneThresholds, classify_zones
+from repro.core.partitioner import (
+    SequencePartitioner,
+    PartitionResult,
+    Placement,
+    NodeAssignment,
+)
+from repro.core.chunking import zigzag_assignment, ChunkAssignment
+from repro.core.routing import RoutingLayer, RoutingDecision
+from repro.core.remapping import RemappingLayer, RemapPlan
+from repro.core.attention_engine import AttentionEngine, RingGroup, SequenceQueues
+from repro.core.zeppelin import ZeppelinStrategy
+
+__all__ = [
+    "ExecutionPlan",
+    "Task",
+    "TaskKind",
+    "Strategy",
+    "StrategyContext",
+    "Zone",
+    "ZoneThresholds",
+    "classify_zones",
+    "SequencePartitioner",
+    "PartitionResult",
+    "Placement",
+    "NodeAssignment",
+    "zigzag_assignment",
+    "ChunkAssignment",
+    "RoutingLayer",
+    "RoutingDecision",
+    "RemappingLayer",
+    "RemapPlan",
+    "AttentionEngine",
+    "RingGroup",
+    "SequenceQueues",
+    "ZeppelinStrategy",
+]

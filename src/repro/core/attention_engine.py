@@ -1,0 +1,428 @@
+"""Attention Engine (§3.2): queue construction and ring-round scheduling.
+
+Given a :class:`~repro.core.partitioner.PartitionResult`, the engine builds the
+three sequence queues each device executes — inter-node rings, intra-node
+rings, and local sequences — and emits the corresponding task graph for one
+transformer layer:
+
+* ring groups execute ``G`` rounds; in round ``k`` every rank computes the
+  causal-visible attention pairs between its query chunks and the KV chunks it
+  currently holds, while forwarding its held KV payload to the next rank,
+* inter-node hops are decomposed by the routing layer (§3.3) into dispatch /
+  multi-NIC transfer / combine tasks,
+* local sequences execute a single variable-length attention task,
+* queue priorities encode the inter -> intra -> local execution order that lets
+  inter-node rings launch first and local work fill the gaps.
+
+Causal balance within a ring comes from the zigzag chunk assignment
+(:mod:`repro.core.chunking`); the per-round work is the exact number of
+mask-visible (query, key) pairs, so tests can check that the per-rank totals
+sum to the monolithic causal cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import Cluster
+from repro.core.chunking import ChunkAssignment, contiguous_assignment, zigzag_assignment
+from repro.core.partitioner import PartitionResult, Placement, RingSpec
+from repro.core.plan import ExecutionPlan, TaskKind
+from repro.core.routing import RoutingLayer
+from repro.core.zones import Zone
+from repro.costs.comm import CommCostModel
+from repro.costs.compute import ComputeCostModel
+from repro.model.spec import TransformerSpec
+from repro.utils.validation import check_in
+
+# Queue priorities: lower starts first on a busy compute stream.
+_PRIORITY = {Zone.INTER_NODE: 0, Zone.INTRA_NODE: 1, Zone.LOCAL: 2}
+
+# Backward passes move gradients of KV alongside KV and roughly double compute.
+_BACKWARD_COMPUTE_FACTOR = 2.0
+_BACKWARD_COMM_FACTOR = 2.0
+
+
+def causal_pairs_between(
+    q_range: tuple[int, int], kv_range: tuple[int, int]
+) -> float:
+    """Number of causal-mask-visible (query, key) pairs between two token ranges.
+
+    ``q_range`` and ``kv_range`` are ``(start, length)`` spans of absolute
+    positions within the same sequence; a query at position ``p`` sees keys at
+    positions ``<= p``.
+    """
+    q_start, q_len = q_range
+    kv_start, kv_len = kv_range
+    if q_len <= 0 or kv_len <= 0:
+        return 0.0
+    kv_end = kv_start + kv_len  # exclusive
+    total = 0.0
+    lo = q_start
+    hi = q_start + q_len - 1
+    # Region where the query sees the full KV range: p >= kv_end - 1.
+    full_lo = max(lo, kv_end - 1)
+    if full_lo <= hi:
+        total += (hi - full_lo + 1) * kv_len
+    # Region where the query sees a prefix of the KV range: kv_start <= p < kv_end - 1.
+    part_lo = max(lo, kv_start)
+    part_hi = min(hi, kv_end - 2)
+    if part_lo <= part_hi:
+        count = part_hi - part_lo + 1
+        first = part_lo + 1 - kv_start
+        last = part_hi + 1 - kv_start
+        total += count * (first + last) / 2.0
+    return total
+
+
+@dataclass(frozen=True)
+class RingGroup:
+    """A ring specification plus the chunk assignment of each member rank."""
+
+    spec: RingSpec
+    assignments: tuple[ChunkAssignment, ...]
+
+    @property
+    def group_size(self) -> int:
+        return self.spec.group_size
+
+    def tokens_of(self, ring_index: int) -> int:
+        return self.assignments[ring_index].tokens
+
+    def query_chunks(self, ring_index: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        a = self.assignments[ring_index]
+        return (a.head_chunk, a.tail_chunk)
+
+    def round_pairs(self, ring_index: int, round_index: int) -> float:
+        """Causal pairs rank ``ring_index`` evaluates in round ``round_index``.
+
+        In round ``k`` the rank holds the KV chunks originally owned by ring
+        index ``(ring_index - k) mod G``.
+        """
+        g = self.group_size
+        owner = (ring_index - round_index) % g
+        pairs = 0.0
+        for q_chunk in self.query_chunks(ring_index):
+            for kv_chunk in self.query_chunks(owner):
+                pairs += causal_pairs_between(q_chunk, kv_chunk)
+        return pairs
+
+
+@dataclass
+class SequenceQueues:
+    """The three per-zone work queues built from a partition result."""
+
+    inter: list[RingGroup] = field(default_factory=list)
+    intra: list[RingGroup] = field(default_factory=list)
+    local: dict[int, list[Placement]] = field(default_factory=dict)
+
+    def all_rings(self) -> list[RingGroup]:
+        return list(self.inter) + list(self.intra)
+
+    def local_tokens(self, rank: int) -> int:
+        return sum(p.tokens for p in self.local.get(rank, []))
+
+
+@dataclass
+class AttentionEngine:
+    """Builds queues and emits the attention task graph for one layer.
+
+    Parameters
+    ----------
+    cluster, compute, comm:
+        Hardware model and cost models.
+    routing:
+        The routing layer used for inter-node hops; pass one with
+        ``enabled=False`` to reproduce the no-routing ablation.
+    balanced_chunking:
+        Use the zigzag causal-balanced assignment (default).  ``False`` falls
+        back to a contiguous even split, used to quantify the benefit of
+        balance in the ablation tests.
+    """
+
+    cluster: Cluster
+    compute: ComputeCostModel
+    comm: CommCostModel
+    routing: RoutingLayer
+    balanced_chunking: bool = True
+
+    # -- queue construction -------------------------------------------------------
+
+    def build_queues(self, partition: PartitionResult) -> SequenceQueues:
+        """Construct inter/intra/local queues from a partition result."""
+        queues = SequenceQueues()
+        for ring in partition.rings:
+            if self.balanced_chunking:
+                assignments = tuple(zigzag_assignment(ring.seq_len, ring.group_size))
+            else:
+                assignments = tuple(
+                    contiguous_assignment(ring.seq_len, ring.group_size)
+                )
+            group = RingGroup(spec=ring, assignments=assignments)
+            if ring.zone == Zone.INTER_NODE:
+                queues.inter.append(group)
+            else:
+                queues.intra.append(group)
+        for rank, placements in partition.placements.items():
+            locals_ = [p for p in placements if p.zone == Zone.LOCAL]
+            if locals_:
+                queues.local[rank] = locals_
+        return queues
+
+    # -- emission -----------------------------------------------------------------
+
+    def emit_attention(
+        self,
+        plan: ExecutionPlan,
+        partition: PartitionResult,
+        spec: TransformerSpec,
+        phase: str = "forward",
+    ) -> dict[int, list[int]]:
+        """Emit the attention tasks of one layer into ``plan``.
+
+        Returns a mapping from global rank to the ids of the attention tasks
+        attributed to that rank, so downstream stages (remapping, linear
+        modules) can depend on them.
+        """
+        check_in("phase", phase, ("forward", "backward"))
+        queues = self.build_queues(partition)
+        return self.emit_queues(plan, queues, spec, phase)
+
+    def emit_queues(
+        self,
+        plan: ExecutionPlan,
+        queues: SequenceQueues,
+        spec: TransformerSpec,
+        phase: str = "forward",
+    ) -> dict[int, list[int]]:
+        """Emit tasks for pre-built queues (used by baselines sharing the engine)."""
+        check_in("phase", phase, ("forward", "backward"))
+        compute_factor = 1.0 if phase == "forward" else _BACKWARD_COMPUTE_FACTOR
+        comm_factor = 1.0 if phase == "forward" else _BACKWARD_COMM_FACTOR
+
+        rank_tasks: dict[int, list[int]] = {r: [] for r in self.cluster.iter_ranks()}
+
+        for group in queues.inter:
+            self._emit_ring(plan, group, spec, compute_factor, comm_factor, rank_tasks)
+        for group in queues.intra:
+            self._emit_ring(plan, group, spec, compute_factor, comm_factor, rank_tasks)
+        for rank, placements in queues.local.items():
+            self._emit_local(
+                plan, rank, placements, spec, compute_factor, rank_tasks
+            )
+        return rank_tasks
+
+    # -- ring emission ----------------------------------------------------------------
+
+    def _emit_ring(
+        self,
+        plan: ExecutionPlan,
+        group: RingGroup,
+        spec: TransformerSpec,
+        compute_factor: float,
+        comm_factor: float,
+        rank_tasks: dict[int, list[int]],
+        initial_deps: tuple[int, ...] = (),
+    ) -> None:
+        ring = group.spec
+        g = ring.group_size
+        priority = _PRIORITY[ring.zone]
+        kv_per_token = self.comm.kv_chunk_bytes(spec, 1)
+
+        # recv_ready[i] holds the task id after which rank i holds the payload
+        # for the *next* round (i.e. the hop into rank i has completed).
+        recv_ready: list[int | None] = [None] * g
+
+        for round_index in range(g):
+            compute_ids: list[int | None] = [None] * g
+            for i, rank in enumerate(ring.ranks):
+                pairs = group.round_pairs(i, round_index)
+                deps = list(initial_deps) if recv_ready[i] is None else []
+                if recv_ready[i] is not None:
+                    deps.append(recv_ready[i])
+                if pairs > 0:
+                    duration = (
+                        self.compute.attention_pairs_time(spec, pairs, num_layers=1)
+                        * compute_factor
+                    )
+                    compute_ids[i] = plan.add(
+                        name=f"attn:{ring.zone.value}:seq{ring.seq_id}:r{round_index}:rank{rank}",
+                        kind=TaskKind.ATTENTION,
+                        duration_s=duration,
+                        resources=(ExecutionPlan.compute_resource(rank),),
+                        deps=deps,
+                        rank=rank,
+                        priority=priority,
+                    )
+                    rank_tasks[rank].append(compute_ids[i])
+
+            if round_index == g - 1:
+                break
+
+            # Send the payload each rank currently holds to its successor.
+            new_recv_ready: list[int | None] = [None] * g
+            for i, rank in enumerate(ring.ranks):
+                owner = (i - round_index) % g
+                payload_tokens = group.tokens_of(owner)
+                nbytes = payload_tokens * kv_per_token * comm_factor
+                dst_rank = ring.ranks[(i + 1) % g]
+                deps = list(initial_deps) if recv_ready[i] is None else []
+                if recv_ready[i] is not None:
+                    deps.append(recv_ready[i])
+                hop_end = self._emit_hop(
+                    plan,
+                    src_rank=rank,
+                    dst_rank=dst_rank,
+                    nbytes=nbytes,
+                    ring_ranks=ring.ranks,
+                    deps=deps,
+                    priority=priority,
+                    label=f"{ring.zone.value}:seq{ring.seq_id}:r{round_index}",
+                )
+                new_recv_ready[(i + 1) % g] = hop_end
+            recv_ready = new_recv_ready
+
+    def _emit_hop(
+        self,
+        plan: ExecutionPlan,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: float,
+        ring_ranks: tuple[int, ...],
+        deps: list[int],
+        priority: int,
+        label: str,
+    ) -> int:
+        """Emit the communication tasks of one ring hop; return the final task id."""
+        if nbytes <= 0:
+            return plan.add(
+                name=f"hop:{label}:{src_rank}->{dst_rank}:empty",
+                kind=TaskKind.INTRA_COMM,
+                duration_s=0.0,
+                resources=(),
+                deps=deps,
+                rank=src_rank,
+                priority=priority,
+            )
+        if self.cluster.same_node(src_rank, dst_rank):
+            duration = self.comm.intra_node_time(nbytes)
+            return plan.add(
+                name=f"hop:{label}:{src_rank}->{dst_rank}:intra",
+                kind=TaskKind.INTRA_COMM,
+                duration_s=duration,
+                resources=(
+                    ExecutionPlan.nvlink_resource(src_rank, "tx"),
+                    ExecutionPlan.nvlink_resource(dst_rank, "rx"),
+                ),
+                deps=deps,
+                rank=src_rank,
+                priority=priority,
+            )
+
+        decision = self.routing.route(src_rank, dst_rank, nbytes, ring_ranks=ring_ranks)
+        transfer_deps: dict[tuple[int, int], int] = {}
+        final_ids: list[int] = []
+
+        for t in decision.transfers_for_step("dispatch"):
+            tid = plan.add(
+                name=f"dispatch:{label}:{t.src_rank}->{t.dst_rank}",
+                kind=TaskKind.DISPATCH,
+                duration_s=self.comm.intra_node_time(t.nbytes),
+                resources=(
+                    ExecutionPlan.nvlink_resource(t.src_rank, "tx"),
+                    ExecutionPlan.nvlink_resource(t.dst_rank, "rx"),
+                ),
+                deps=deps,
+                rank=t.src_rank,
+                priority=priority,
+            )
+            transfer_deps[(t.dst_rank, t.src_rank)] = tid
+
+        # Map: recv proxy rank -> id of the inter-node transfer task landing there.
+        transfer_by_recv_proxy: dict[int, int] = {}
+        for t in decision.transfers_for_step("transfer"):
+            src_nic = self.cluster.nic_of(t.src_rank)
+            dst_nic = self.cluster.nic_of(t.dst_rank)
+            t_deps = list(deps)
+            key = (t.src_rank, src_rank)
+            if key in transfer_deps:
+                t_deps.append(transfer_deps[key])
+            tid = plan.add(
+                name=f"transfer:{label}:{t.src_rank}->{t.dst_rank}",
+                kind=TaskKind.INTER_COMM,
+                duration_s=self.comm.inter_node_time(t.nbytes, nics=1),
+                resources=(
+                    ExecutionPlan.nic_resource(src_nic.nic_id, "tx"),
+                    ExecutionPlan.nic_resource(dst_nic.nic_id, "rx"),
+                ),
+                deps=t_deps,
+                rank=t.src_rank,
+                priority=priority,
+            )
+            transfer_by_recv_proxy[t.dst_rank] = tid
+            final_ids.append(tid)
+
+        combine_ids: list[int] = []
+        consumed_transfers: set[int] = set()
+        for t in decision.transfers_for_step("combine"):
+            c_deps = list(deps)
+            if t.src_rank in transfer_by_recv_proxy:
+                dep_tid = transfer_by_recv_proxy[t.src_rank]
+                c_deps.append(dep_tid)
+                consumed_transfers.add(dep_tid)
+            tid = plan.add(
+                name=f"combine:{label}:{t.src_rank}->{t.dst_rank}",
+                kind=TaskKind.COMBINE,
+                duration_s=self.comm.intra_node_time(t.nbytes),
+                resources=(
+                    ExecutionPlan.nvlink_resource(t.src_rank, "tx"),
+                    ExecutionPlan.nvlink_resource(t.dst_rank, "rx"),
+                ),
+                deps=c_deps,
+                rank=t.src_rank,
+                priority=priority,
+            )
+            combine_ids.append(tid)
+
+        # Barrier marking the hop complete at the destination: all combines plus
+        # any transfer that landed directly on the destination rank.
+        end_deps = combine_ids + [
+            tid for tid in final_ids if tid not in consumed_transfers
+        ]
+        return plan.add(
+            name=f"hop:{label}:{src_rank}->{dst_rank}:done",
+            kind=TaskKind.INTER_COMM,
+            duration_s=0.0,
+            resources=(),
+            deps=end_deps if end_deps else deps,
+            rank=dst_rank,
+            priority=priority,
+        )
+
+    # -- local queue --------------------------------------------------------------------
+
+    def _emit_local(
+        self,
+        plan: ExecutionPlan,
+        rank: int,
+        placements: list[Placement],
+        spec: TransformerSpec,
+        compute_factor: float,
+        rank_tasks: dict[int, list[int]],
+    ) -> None:
+        duration = 0.0
+        for p in placements:
+            duration += self.compute.attention_time(spec, p.tokens, num_layers=1)
+        duration *= compute_factor
+        if duration <= 0:
+            return
+        tid = plan.add(
+            name=f"attn:local:rank{rank}:{len(placements)}seqs",
+            kind=TaskKind.ATTENTION,
+            duration_s=duration,
+            resources=(ExecutionPlan.compute_resource(rank),),
+            deps=(),
+            rank=rank,
+            priority=_PRIORITY[Zone.LOCAL],
+        )
+        rank_tasks[rank].append(tid)

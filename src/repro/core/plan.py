@@ -1,0 +1,207 @@
+"""Execution plans: the task graph a strategy emits and the simulator runs.
+
+A plan is a DAG of :class:`Task` objects.  Each task has a fixed duration
+(computed analytically by the strategy from the cost models), a set of
+*resources* it must hold exclusively while running (a GPU compute stream, a NIC
+direction, an NVSwitch port), and dependencies on other tasks.  The
+discrete-event simulator (:mod:`repro.sim.engine`) schedules tasks greedily as
+their dependencies complete and their resources free up, which is exactly how
+overlap between computation and communication arises in the real system's
+multi-stream execution.
+
+Resource naming conventions (all strings):
+
+* ``compute:{rank}`` — the GPU's compute stream,
+* ``nvl:{rank}:tx`` / ``nvl:{rank}:rx`` — the GPU's NVSwitch egress / ingress,
+* ``nic:{nic_id}:tx`` / ``nic:{nic_id}:rx`` — a NIC direction.
+
+The per-direction split models full-duplex links: a send and a receive on the
+same NIC do not contend, but two sends do — which is how the simulator exposes
+the Cluster A "2 GPUs share one NIC" bottleneck.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+
+class TaskKind(enum.Enum):
+    """Category of work a task performs; used for trace accounting (Fig. 12)."""
+
+    ATTENTION = "attention"
+    LINEAR = "linear"
+    INTRA_COMM = "intra_comm"
+    INTER_COMM = "inter_comm"
+    DISPATCH = "dispatch"
+    COMBINE = "combine"
+    REMAP = "remap"
+    ALLGATHER = "allgather"
+    OTHER = "other"
+
+    @property
+    def is_communication(self) -> bool:
+        return self in {
+            TaskKind.INTRA_COMM,
+            TaskKind.INTER_COMM,
+            TaskKind.DISPATCH,
+            TaskKind.COMBINE,
+            TaskKind.REMAP,
+            TaskKind.ALLGATHER,
+        }
+
+
+@dataclass
+class Task:
+    """One unit of work in an execution plan.
+
+    Attributes
+    ----------
+    task_id:
+        Unique id within the plan (assigned by :class:`ExecutionPlan.add`).
+    name:
+        Human-readable name used in traces.
+    kind:
+        Task category.
+    duration_s:
+        Execution time in seconds once started.
+    resources:
+        Resource names held exclusively for the task's duration.  An empty
+        tuple means the task only synchronises (zero-cost barrier).
+    deps:
+        Ids of tasks that must complete before this task may start.
+    rank:
+        Global rank the task is attributed to in traces (-1 for none).
+    priority:
+        Lower values start first when several ready tasks compete for a
+        resource; strategies use this to encode the inter -> intra -> local
+        queue ordering of §3.2.
+    """
+
+    task_id: int
+    name: str
+    kind: TaskKind
+    duration_s: float
+    resources: tuple[str, ...]
+    deps: tuple[int, ...] = ()
+    rank: int = -1
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("duration_s", self.duration_s)
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+
+
+@dataclass
+class ExecutionPlan:
+    """A DAG of tasks describing (part of) one training iteration.
+
+    Plans are typically built per transformer layer and per pass direction;
+    :mod:`repro.training.iteration` scales the simulated layer time to the full
+    model.
+    """
+
+    name: str = "plan"
+    tasks: list[Task] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        kind: TaskKind,
+        duration_s: float,
+        resources: tuple[str, ...] = (),
+        deps: tuple[int, ...] | list[int] = (),
+        rank: int = -1,
+        priority: int = 0,
+    ) -> int:
+        """Append a task and return its id."""
+        task_id = len(self.tasks)
+        deps = tuple(deps)
+        for d in deps:
+            if d < 0 or d >= task_id:
+                raise ValueError(
+                    f"dependency {d} of task {task_id} does not refer to an "
+                    f"earlier task"
+                )
+        self.tasks.append(
+            Task(
+                task_id=task_id,
+                name=name,
+                kind=kind,
+                duration_s=duration_s,
+                resources=tuple(resources),
+                deps=deps,
+                rank=rank,
+                priority=priority,
+            )
+        )
+        return task_id
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def total_duration_by_kind(self) -> dict[TaskKind, float]:
+        """Sum of task durations grouped by kind (not wall-clock: ignores overlap)."""
+        totals: dict[TaskKind, float] = {}
+        for task in self.tasks:
+            totals[task.kind] = totals.get(task.kind, 0.0) + task.duration_s
+        return totals
+
+    def tasks_for_rank(self, rank: int) -> list[Task]:
+        """Tasks attributed to a given rank, in insertion order."""
+        return [t for t in self.tasks if t.rank == rank]
+
+    def critical_path_lower_bound(self) -> float:
+        """Longest dependency chain duration — a lower bound on the makespan.
+
+        Ignores resource contention, so the simulated makespan is always at
+        least this value; used as a sanity check in tests.
+        """
+        finish: list[float] = [0.0] * len(self.tasks)
+        for task in self.tasks:  # tasks are topologically ordered by construction
+            start = max((finish[d] for d in task.deps), default=0.0)
+            finish[task.task_id] = start + task.duration_s
+        return max(finish, default=0.0)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        seen_ids = set()
+        for i, task in enumerate(self.tasks):
+            if task.task_id != i:
+                raise ValueError(f"task at index {i} has id {task.task_id}")
+            if task.task_id in seen_ids:
+                raise ValueError(f"duplicate task id {task.task_id}")
+            seen_ids.add(task.task_id)
+            for d in task.deps:
+                if d >= task.task_id:
+                    raise ValueError(
+                        f"task {task.task_id} depends on later task {d}"
+                    )
+
+    # -- resource helpers --------------------------------------------------------
+
+    @staticmethod
+    def compute_resource(rank: int) -> str:
+        """Resource name of a rank's compute stream."""
+        return f"compute:{rank}"
+
+    @staticmethod
+    def nvlink_resource(rank: int, direction: str) -> str:
+        """Resource name of a rank's NVSwitch port (direction ``"tx"``/``"rx"``)."""
+        if direction not in ("tx", "rx"):
+            raise ValueError("direction must be 'tx' or 'rx'")
+        return f"nvl:{rank}:{direction}"
+
+    @staticmethod
+    def nic_resource(nic_id: int, direction: str) -> str:
+        """Resource name of a NIC direction (``"tx"``/``"rx"``)."""
+        if direction not in ("tx", "rx"):
+            raise ValueError("direction must be 'tx' or 'rx'")
+        return f"nic:{nic_id}:{direction}"

@@ -1,0 +1,146 @@
+"""The Zeppelin strategy: partitioner + attention engine + routing + remapping.
+
+:class:`ZeppelinStrategy` glues the four layers of §3 together into a single
+:class:`~repro.core.strategy.Strategy`.  The three component switches —
+``use_routing``, ``use_remapping`` and ``balanced_partitioning`` — correspond
+to the ablation configurations of Fig. 11:
+
+===============================  =========  ===========  =============
+Configuration                     routing    partitioner  remapping
+===============================  =========  ===========  =============
+``w/ Routing`` (on TE CP)         on         off (even)   off
+``w/ Attn Eng``                   off        on           off
+``w/ Routing & Attn Eng``         on         on           off
+``w/ All`` (full Zeppelin)        on         on           on
+===============================  =========  ===========  =============
+"""
+
+from __future__ import annotations
+
+from repro.core.attention_engine import AttentionEngine
+from repro.core.partitioner import PartitionResult, SequencePartitioner
+from repro.core.plan import ExecutionPlan
+from repro.core.remapping import RemappingLayer
+from repro.core.routing import RoutingLayer
+from repro.core.strategy import Strategy, StrategyContext
+from repro.data.sampler import Batch
+
+
+class ZeppelinStrategy(Strategy):
+    """Zeppelin's hierarchical, routing- and remapping-aware scheduling."""
+
+    name = "Zeppelin"
+
+    def __init__(
+        self,
+        context: StrategyContext,
+        use_routing: bool = True,
+        use_remapping: bool = True,
+        balanced_chunking: bool = True,
+        remap_solver: str = "auto",
+    ) -> None:
+        super().__init__(context)
+        self.use_routing = use_routing
+        self.use_remapping = use_remapping
+        self.partitioner = SequencePartitioner(
+            cluster=self._dp_view(), token_budget=context.token_budget
+        )
+        self.routing = RoutingLayer(cluster=self.cluster, enabled=use_routing)
+        self.engine = AttentionEngine(
+            cluster=self.cluster,
+            compute=self.compute,
+            comm=self.comm,
+            routing=self.routing,
+            balanced_chunking=balanced_chunking,
+        )
+        self.remapping = RemappingLayer(cluster=self.cluster, solver=remap_solver)
+        disabled = []
+        if not use_routing:
+            disabled.append("no routing")
+        if not use_remapping:
+            disabled.append("no remap")
+        if disabled:
+            self.name = f"Zeppelin ({', '.join(disabled)})"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _dp_view(self):
+        """The cluster as seen by the partitioner.
+
+        With tensor parallelism, the partitioner operates over logical ranks.
+        We keep the physical cluster (logical rank == first GPU of the TP
+        group) when ``tensor_parallel == 1``; for larger TP degrees a reduced
+        cluster view with ``gpus_per_node / tp`` devices per node would be the
+        faithful mapping, but the paper's TP experiments fix ``tp = 2`` with
+        the partitioning still operating per physical node, so we reuse the
+        physical topology and have the planner place work only on DP endpoint
+        ranks via the token budget.
+        """
+        return self.cluster
+
+    def partition(self, batch: Batch) -> PartitionResult:
+        """Run the hierarchical partitioner on a batch (exposed for inspection)."""
+        return self.partitioner.partition(batch)
+
+    # -- Strategy interface ------------------------------------------------------
+
+    def plan_layer(self, batch: Batch, phase: str = "forward") -> ExecutionPlan:
+        plan = ExecutionPlan(name=f"zeppelin:{phase}")
+        partition = self.partitioner.partition(batch)
+        plan.metadata["partition"] = partition
+        plan.metadata["total_tokens"] = batch.total_tokens
+        plan.metadata["strategy"] = self.name
+        plan.metadata["phase"] = phase
+
+        # 1. Attention: hierarchical queues + (optionally routed) ring rounds.
+        attn_tasks = self.engine.emit_attention(plan, partition, self.spec, phase=phase)
+
+        # 2. Linear modules, optionally remapped to a token-balanced layout.
+        # Remapping is only worth its two alltoallv transfers when the time the
+        # slowest rank saves in the linear modules exceeds the transfer cost
+        # (§3.4: "minimal overhead").
+        tokens_per_rank = partition.tokens_per_rank()
+        apply_remap = False
+        remap_plan = None
+        if self.use_remapping:
+            from repro.model.memory import hidden_bytes_per_token
+
+            remap_plan = self.remapping.plan(
+                tokens_per_rank, bytes_per_token=hidden_bytes_per_token(self.spec)
+            )
+            counts = list(tokens_per_rank.values())
+            imbalance_tokens = max(counts) - sum(counts) / len(counts)
+            linear_saving = self.compute.linear_time(
+                self.spec, int(imbalance_tokens), num_layers=1
+            )
+            apply_remap = (
+                remap_plan.total_moved_tokens > 0
+                and linear_saving > 2.0 * remap_plan.max_rank_cost_s
+            )
+        if apply_remap:
+            incoming = self.emit_remap(
+                plan, remap_plan, attn_tasks, phase=phase, label="remap_fwd"
+            )
+            linear_tokens = {
+                rank: int(round(tokens))
+                for rank, tokens in zip(remap_plan.ranks, remap_plan.resulting_tokens())
+            }
+            linear_deps = {
+                rank: attn_tasks.get(rank, []) + incoming.get(rank, [])
+                for rank in tokens_per_rank
+            }
+            linear_ids = self.emit_linear(plan, linear_tokens, linear_deps, phase=phase)
+            # 3. Inverse remapping restores the attention layout.
+            inverse = remap_plan.inverse()
+            linear_dep_lists = {
+                rank: [tid] for rank, tid in linear_ids.items()
+            }
+            self.emit_remap(
+                plan, inverse, linear_dep_lists, phase=phase, label="remap_bwd"
+            )
+            plan.metadata["remap_plan"] = remap_plan
+        else:
+            self.emit_linear(plan, tokens_per_rank, attn_tasks, phase=phase)
+
+        plan.validate()
+        return plan

@@ -1,0 +1,171 @@
+"""Zone analysis: local, intra-node, and inter-node sequences (Fig. 5).
+
+For a sequence of length ``s`` executed with ring context parallelism, the
+per-round attention computation grows quadratically in ``s`` while the KV
+send/receive volume grows linearly.  The ratio therefore improves with length:
+long sequences can hide even slow inter-node transfers behind compute, medium
+sequences can hide intra-node transfers, and short sequences cannot hide any
+communication and are best kept on a single device.
+
+:func:`classify_zones` finds the two crossover lengths (where compute overtakes
+intra-node and inter-node communication) for a given model and cluster, which
+is the analysis Fig. 5 plots.  Note that the *partitioning algorithms* (Alg. 1
+and Alg. 2) use capacity-derived thresholds, not these crossovers; the zone
+analysis explains *why* the hierarchy works and feeds the Fig. 5 reproduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.topology import Cluster
+from repro.costs.comm import CommCostModel
+from repro.costs.compute import ComputeCostModel
+from repro.model.spec import TransformerSpec
+from repro.utils.validation import check_positive
+
+
+class Zone(enum.Enum):
+    """Which tier of the bandwidth hierarchy a sequence should use."""
+
+    LOCAL = "local"
+    INTRA_NODE = "intra_node"
+    INTER_NODE = "inter_node"
+
+
+@dataclass(frozen=True)
+class ZoneThresholds:
+    """Crossover lengths separating the three zones.
+
+    Sequences shorter than ``local_max`` cannot hide intra-node communication
+    behind their attention compute; sequences shorter than ``intra_max`` cannot
+    hide inter-node communication.  Both are expressed in tokens.
+    """
+
+    local_max: int
+    intra_max: int
+
+    def __post_init__(self) -> None:
+        check_positive("local_max", self.local_max)
+        check_positive("intra_max", self.intra_max)
+        if self.intra_max < self.local_max:
+            raise ValueError("intra_max must be >= local_max")
+
+    def zone_of(self, length: int) -> Zone:
+        """Zone of a sequence of ``length`` tokens."""
+        check_positive("length", length)
+        if length < self.local_max:
+            return Zone.LOCAL
+        if length < self.intra_max:
+            return Zone.INTRA_NODE
+        return Zone.INTER_NODE
+
+
+@dataclass(frozen=True)
+class ZoneCostCurves:
+    """Cost curves evaluated at a set of sequence lengths (Fig. 5 data)."""
+
+    lengths: tuple[int, ...]
+    attention_compute_s: tuple[float, ...]
+    linear_compute_s: tuple[float, ...]
+    intra_node_comm_s: tuple[float, ...]
+    inter_node_comm_s: tuple[float, ...]
+
+
+def _sequence_costs(
+    spec: TransformerSpec,
+    compute: ComputeCostModel,
+    comm: CommCostModel,
+    length: int,
+) -> tuple[float, float, float]:
+    """(attention compute, intra comm, inter comm) for one sequence, per layer.
+
+    These are the three curves Fig. 5 plots: the sequence's causal attention
+    time on one device and the time to send/receive its per-layer KV
+    activations over the intra-node link and over a single NIC.
+    """
+    comp = compute.attention_time(spec, length, num_layers=1)
+    kv = comm.kv_chunk_bytes(spec, length)
+    intra = comm.intra_node_time(kv)
+    inter = comm.inter_node_time(kv, nics=1)
+    return comp, intra, inter
+
+
+def classify_zones(
+    spec: TransformerSpec,
+    cluster: Cluster,
+    max_length: int = 256 * 1024,
+    tensor_parallel: int = 1,
+    step: int = 256,
+) -> ZoneThresholds:
+    """Compute the local/intra/inter crossover lengths for a model on a cluster.
+
+    The crossovers are the intersections of the three Fig. 5 cost curves: a
+    sequence enters the intra-node zone once its attention compute exceeds the
+    intra-node transfer of its KV activations (``local_max``), and the
+    inter-node zone once its compute also exceeds the single-NIC inter-node
+    transfer (``intra_max``).
+    """
+    check_positive("step", step)
+    compute = ComputeCostModel(
+        peak_flops=cluster.peak_flops_per_gpu,
+        device_type=cluster.device_type,
+        tensor_parallel=tensor_parallel,
+    )
+    comm = CommCostModel(cluster)
+
+    local_max = None
+    intra_max = None
+    length = step
+    while length <= max_length:
+        comp, intra, inter = _sequence_costs(spec, compute, comm, length)
+        if local_max is None and comp >= intra:
+            local_max = length
+        if intra_max is None and comp >= inter:
+            intra_max = length
+        if local_max is not None and intra_max is not None:
+            break
+        length += step
+    if local_max is None:
+        local_max = max_length
+    if intra_max is None:
+        intra_max = max_length
+    intra_max = max(intra_max, local_max)
+    return ZoneThresholds(local_max=local_max, intra_max=intra_max)
+
+
+def zone_cost_curves(
+    spec: TransformerSpec,
+    cluster: Cluster,
+    lengths: list[int] | tuple[int, ...],
+    tensor_parallel: int = 1,
+) -> ZoneCostCurves:
+    """Evaluate the Fig. 5 cost curves at the given sequence lengths.
+
+    Returns *per-layer* whole-sequence costs, matching the units of Fig. 5:
+    attention compute on one device, linear-module compute on one device, and
+    the time to send/receive the sequence's per-layer KV activations once over
+    the intra-node and single-NIC inter-node links.
+    """
+    compute = ComputeCostModel(
+        peak_flops=cluster.peak_flops_per_gpu,
+        device_type=cluster.device_type,
+        tensor_parallel=tensor_parallel,
+    )
+    comm = CommCostModel(cluster)
+    attn, linear, intra, inter = [], [], [], []
+    for length in lengths:
+        check_positive("length", length)
+        attn.append(compute.attention_time(spec, length, num_layers=1))
+        linear.append(compute.linear_time(spec, length, num_layers=1))
+        kv = comm.kv_chunk_bytes(spec, length)
+        intra.append(comm.intra_node_time(kv))
+        inter.append(comm.inter_node_time(kv, nics=1))
+    return ZoneCostCurves(
+        lengths=tuple(int(l) for l in lengths),
+        attention_compute_s=tuple(attn),
+        linear_compute_s=tuple(linear),
+        intra_node_comm_s=tuple(intra),
+        inter_node_comm_s=tuple(inter),
+    )

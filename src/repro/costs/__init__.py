@@ -1,0 +1,19 @@
+"""Analytical compute and communication cost models.
+
+These translate the structural quantities (FLOPs, bytes) into time on a given
+cluster.  The compute model applies device-specific efficiency factors (an
+attention kernel does not hit peak FLOP/s); the communication model applies the
+alpha-beta link models of :mod:`repro.cluster.bandwidth` to point-to-point and
+collective transfers.
+"""
+
+from repro.costs.compute import ComputeCostModel
+from repro.costs.comm import CommCostModel
+from repro.costs.calibration import CALIBRATION_POINTS, CalibrationPoint
+
+__all__ = [
+    "ComputeCostModel",
+    "CommCostModel",
+    "CALIBRATION_POINTS",
+    "CalibrationPoint",
+]

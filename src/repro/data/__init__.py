@@ -1,0 +1,42 @@
+"""Synthetic workload generation matching the paper's datasets.
+
+The paper trains on batches whose sequence lengths are sampled to match the
+length histograms of ArXiv, GitHub and ProLong-64k (Table 2), and motivates the
+problem with the broader dataset mixture of Fig. 1.  This subpackage provides
+those histograms, a batch sampler that fills a total context budget, and the
+packing/chunking utilities used by the input-balanced-pack baseline.
+"""
+
+from repro.data.distributions import (
+    LengthDistribution,
+    LengthBin,
+    TABLE2_DISTRIBUTIONS,
+    FIG1_DISTRIBUTIONS,
+    get_distribution,
+    available_distributions,
+)
+from repro.data.sampler import BatchSampler, Batch, Sequence
+from repro.data.datasets import (
+    SyntheticDataset,
+    balanced_case_study_batch,
+    skewed_case_study_batch,
+)
+from repro.data.packing import pack_sequences, chunk_sequence, PackedBuffer
+
+__all__ = [
+    "LengthDistribution",
+    "LengthBin",
+    "TABLE2_DISTRIBUTIONS",
+    "FIG1_DISTRIBUTIONS",
+    "get_distribution",
+    "available_distributions",
+    "BatchSampler",
+    "Batch",
+    "Sequence",
+    "SyntheticDataset",
+    "balanced_case_study_batch",
+    "skewed_case_study_batch",
+    "pack_sequences",
+    "chunk_sequence",
+    "PackedBuffer",
+]

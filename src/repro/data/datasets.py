@@ -1,0 +1,105 @@
+"""Named synthetic datasets and the case-study batches of §5.4.
+
+:class:`SyntheticDataset` wraps a length distribution with a convenient batch
+iterator, and the two ``*_case_study_batch`` helpers reproduce the "Balanced"
+and "Skewed" batches of Table 3 (7B model, 128k total context on Cluster C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.distributions import LengthDistribution, get_distribution
+from repro.data.sampler import Batch, BatchSampler, Sequence
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SyntheticDataset:
+    """A stream of synthetic batches matching a named dataset distribution."""
+
+    name: str
+    total_context: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("total_context", self.total_context)
+        self._distribution = get_distribution(self.name)
+        self._sampler = BatchSampler(
+            distribution=self._distribution,
+            total_context=self.total_context,
+            seed=self.seed,
+        )
+
+    @property
+    def distribution(self) -> LengthDistribution:
+        return self._distribution
+
+    def batches(self, count: int) -> list[Batch]:
+        """Return ``count`` batches of roughly ``total_context`` tokens each."""
+        return self._sampler.sample_batches(count)
+
+    def batch(self) -> Batch:
+        """Return a single batch."""
+        return self._sampler.sample_batch()
+
+
+def balanced_case_study_batch(total_context: int = 128 * 1024, seed: int = 0) -> Batch:
+    """The Table 3 "Balanced" batch: one sequence sampled from each Table 2 bin.
+
+    The paper describes the balanced distribution as sampling sequences from
+    each length bucket of Table 2.  We draw one sequence from the midpoint of
+    every ArXiv bin with non-zero probability and scale the set to the total
+    context budget.
+    """
+    check_positive("total_context", total_context)
+    dist = get_distribution("arxiv")
+    rng = np.random.default_rng(seed)
+    lengths = []
+    for b in dist.bins:
+        if b.probability > 0:
+            lengths.append(int(rng.integers(b.lo, b.hi)))
+    scale = total_context / sum(lengths)
+    scaled = [max(64, int(round(l * scale))) for l in lengths]
+    # Adjust the longest sequence so the batch hits the budget exactly.
+    diff = total_context - sum(scaled)
+    longest = max(range(len(scaled)), key=lambda i: scaled[i])
+    scaled[longest] = max(64, scaled[longest] + diff)
+    return Batch.from_lengths(scaled, dataset="balanced_case_study")
+
+
+def skewed_case_study_batch(total_context: int = 128 * 1024, seed: int = 0) -> Batch:
+    """The Table 3 "Skewed" batch: one very long sequence plus several short ones.
+
+    Three quarters of the budget goes to a single long sequence; the remainder
+    is split into short 1k-4k sequences.
+    """
+    check_positive("total_context", total_context)
+    rng = np.random.default_rng(seed)
+    long_len = int(total_context * 0.75)
+    remaining = total_context - long_len
+    lengths = [long_len]
+    while remaining > 0:
+        l = int(rng.integers(1024, 4096))
+        l = min(l, remaining)
+        if l < 64:
+            lengths[-1] += l
+            break
+        lengths.append(l)
+        remaining -= l
+    return Batch.from_lengths(lengths, dataset="skewed_case_study")
+
+
+def single_sequence_batch(length: int) -> Batch:
+    """A batch containing exactly one sequence (the Fig. 12.b scenario)."""
+    check_positive("length", length)
+    return Batch(sequences=(Sequence(seq_id=0, length=length),), dataset="single")
+
+
+def uniform_batch(num_sequences: int, length: int) -> Batch:
+    """A batch of ``num_sequences`` equal-length sequences (Fig. 12.c scenario)."""
+    check_positive("num_sequences", num_sequences)
+    check_positive("length", length)
+    return Batch.from_lengths([length] * num_sequences, dataset="uniform")

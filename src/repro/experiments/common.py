@@ -1,0 +1,58 @@
+"""Shared scaffolding for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """A generic tabular experiment result.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig8"``).
+    description:
+        What the experiment reproduces.
+    headers:
+        Column names of the result table.
+    rows:
+        Result rows (one list per row, aligned with ``headers``).
+    extra:
+        Free-form structured data for programmatic consumers (tests, benches).
+    """
+
+    name: str
+    description: str
+    headers: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def to_text(self) -> str:
+        """Render the result as the table the experiment prints."""
+        return render_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
+
+    def column(self, header: str) -> list[Any]:
+        """Extract a column by header name."""
+        try:
+            idx = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(f"no column named {header!r}") from None
+        return [row[idx] for row in self.rows]
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print an experiment result table to stdout."""
+    print(result.to_text())
+    print()

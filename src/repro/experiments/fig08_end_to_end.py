@@ -1,0 +1,111 @@
+"""Fig. 8 — end-to-end training throughput across models, datasets and scales.
+
+The full grid of the paper is 4 models x 3 datasets x 3 context lengths.  The
+default configuration here runs a representative subset sized to finish in a
+few minutes on a laptop; pass ``full_grid=True`` to sweep every cell.  For each
+cell the experiment reports tokens/second of TE CP, LLaMA CP, Hybrid DP and
+Zeppelin plus the speedups normalised to TE CP — the numbers printed above the
+bars in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentResult, print_result
+from repro.training.runner import TrainingRun, TrainingRunConfig
+
+_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+
+
+@dataclass(frozen=True)
+class Fig8Cell:
+    """One bar group of Fig. 8."""
+
+    model: str
+    total_context_k: int
+    num_gpus: int
+    cluster: str = "A"
+    tensor_parallel: int = 1
+
+
+# The paper's grid (Fig. 8).  13B and 30B use tensor parallelism of 2; the 30B
+# rows run on Cluster C.
+FULL_GRID: tuple[Fig8Cell, ...] = (
+    Fig8Cell("7b", 64, 16),
+    Fig8Cell("7b", 128, 32),
+    Fig8Cell("7b", 256, 64),
+    Fig8Cell("13b", 64, 32, tensor_parallel=2),
+    Fig8Cell("13b", 128, 64, tensor_parallel=2),
+    Fig8Cell("13b", 256, 128, tensor_parallel=2),
+    Fig8Cell("8x550m", 64, 16),
+    Fig8Cell("8x550m", 128, 32),
+    Fig8Cell("8x550m", 256, 64),
+    Fig8Cell("30b", 64, 32, cluster="C", tensor_parallel=2),
+    Fig8Cell("30b", 128, 64, cluster="C", tensor_parallel=2),
+    Fig8Cell("30b", 256, 128, cluster="C", tensor_parallel=2),
+)
+
+# Laptop-sized default: the smallest cell of every model family.
+DEFAULT_GRID: tuple[Fig8Cell, ...] = (
+    Fig8Cell("7b", 64, 16),
+    Fig8Cell("13b", 64, 32, tensor_parallel=2),
+    Fig8Cell("8x550m", 64, 16),
+    Fig8Cell("30b", 64, 32, cluster="C", tensor_parallel=2),
+)
+
+DATASETS = ("arxiv", "github", "prolong64k")
+
+
+def run(
+    full_grid: bool = False,
+    datasets: tuple[str, ...] = DATASETS,
+    num_steps: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate (a subset of) the Fig. 8 throughput grid."""
+    cells = FULL_GRID if full_grid else DEFAULT_GRID
+    headers = ["model", "context", "gpus", "cluster", "dataset"] + [
+        f"{s}_tok_s" for s in _STRATEGIES
+    ] + [f"{s}_speedup" for s in _STRATEGIES]
+    result = ExperimentResult(
+        name="fig8",
+        description="End-to-end training throughput (tokens/second and speedup vs TE CP)",
+        headers=headers,
+    )
+    for cell in cells:
+        for dataset in datasets:
+            config = TrainingRunConfig(
+                model=cell.model,
+                cluster_preset=cell.cluster,
+                num_gpus=cell.num_gpus,
+                dataset=dataset,
+                total_context=cell.total_context_k * 1024,
+                tensor_parallel=cell.tensor_parallel,
+                num_steps=num_steps,
+                seed=seed,
+            )
+            run_ = TrainingRun(config)
+            reports = [run_.run_strategy(s) for s in _STRATEGIES]
+            base = reports[0].tokens_per_second
+            result.add_row(
+                cell.model,
+                f"{cell.total_context_k}k",
+                cell.num_gpus,
+                cell.cluster,
+                dataset,
+                *[round(r.tokens_per_second) for r in reports],
+                *[round(r.tokens_per_second / base, 2) for r in reports],
+            )
+            result.extra[(cell.model, cell.total_context_k, dataset)] = {
+                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+            }
+    return result
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Fig. 9 — scalability of the LLaMA 3B model on Cluster A.
+
+Throughput versus GPU count (16 to 128) with a fixed 4k tokens per GPU, for
+the three datasets.  The paper's observations this experiment checks:
+
+* TE CP stays nearly flat (cross-node ring communication bound),
+* LLaMA CP improves but its all-gather volume grows with total context,
+* Hybrid DP does not beat LLaMA CP at small scale (16-32 GPUs),
+* Zeppelin scales best across all datasets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, print_result
+from repro.training.runner import TrainingRun, TrainingRunConfig
+
+_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+DEFAULT_GPU_COUNTS = (16, 32, 64)
+FULL_GPU_COUNTS = (16, 32, 64, 96, 128)
+
+
+def run(
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
+    tokens_per_gpu: int = 4096,
+    num_steps: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the Fig. 9 scalability curves."""
+    headers = ["dataset", "gpus", "total_context"] + [f"{s}_tok_s" for s in _STRATEGIES]
+    result = ExperimentResult(
+        name="fig9",
+        description="Scalability of LLaMA 3B on Cluster A (4k tokens per GPU)",
+        headers=headers,
+    )
+    for dataset in datasets:
+        for gpus in gpu_counts:
+            if gpus % 8 != 0:
+                raise ValueError("GPU counts must be multiples of 8")
+            total_context = tokens_per_gpu * gpus
+            config = TrainingRunConfig(
+                model="3b",
+                cluster_preset="A",
+                num_gpus=gpus,
+                dataset=dataset,
+                total_context=total_context,
+                num_steps=num_steps,
+                seed=seed,
+            )
+            run_ = TrainingRun(config)
+            reports = [run_.run_strategy(s) for s in _STRATEGIES]
+            result.add_row(
+                dataset,
+                gpus,
+                f"{total_context // 1024}k",
+                *[round(r.tokens_per_second) for r in reports],
+            )
+            result.extra[(dataset, gpus)] = {
+                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+            }
+    return result
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Fig. 10 — speedup comparison on Cluster A versus Cluster B.
+
+3B model, 128k total context, 32 GPUs, three datasets, on both cluster
+architectures.  The paper's observations this experiment checks:
+
+* Zeppelin wins on both clusters and on every dataset,
+* absolute throughput is higher on Cluster B (Hopper-class GPUs),
+* the *relative* speedup of Zeppelin is larger on Cluster A, whose higher
+  computation-to-communication ratio gives more room to hide communication.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, print_result
+from repro.training.runner import TrainingRun, TrainingRunConfig
+
+_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+
+
+def run(
+    datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
+    total_context: int = 128 * 1024,
+    num_gpus: int = 32,
+    num_steps: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the Fig. 10 cluster comparison."""
+    headers = ["cluster", "dataset"] + [f"{s}_tok_s" for s in _STRATEGIES] + [
+        f"{s}_speedup" for s in _STRATEGIES
+    ]
+    result = ExperimentResult(
+        name="fig10",
+        description="3B, 128k, 32 GPUs on Cluster A vs Cluster B",
+        headers=headers,
+    )
+    for cluster in ("A", "B"):
+        for dataset in datasets:
+            config = TrainingRunConfig(
+                model="3b",
+                cluster_preset=cluster,
+                num_gpus=num_gpus,
+                dataset=dataset,
+                total_context=total_context,
+                num_steps=num_steps,
+                seed=seed,
+            )
+            run_ = TrainingRun(config)
+            reports = [run_.run_strategy(s) for s in _STRATEGIES]
+            base = reports[0].tokens_per_second
+            result.add_row(
+                cluster,
+                dataset,
+                *[round(r.tokens_per_second) for r in reports],
+                *[round(r.tokens_per_second / base, 2) for r in reports],
+            )
+            result.extra[(cluster, dataset)] = {
+                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+            }
+    return result
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Fig. 11 — ablation of Zeppelin's components.
+
+3B model, 32 GPUs, Cluster A, three datasets.  Configurations, matching the
+paper's bars:
+
+* ``TE CP`` — the baseline,
+* ``w/ Routing`` — TE CP's even split plus the communication routing layer,
+* ``w/ Attn Eng`` — hierarchical partitioning + attention engine, no routing,
+  no remapping,
+* ``w/ Routing & Attn Eng`` — both, no remapping,
+* ``w/ All`` — full Zeppelin (adds the remapping layer).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, print_result
+from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.training.throughput import measure_throughput
+
+
+def _configurations(run_: TrainingRun):
+    """The five ablation configurations, in the paper's order."""
+    return (
+        ("TE CP", run_.strategy("te_cp")),
+        ("w/ Routing", run_.strategy("te_cp", use_routing=True)),
+        ("w/ Attn Eng", run_.strategy("zeppelin", use_routing=False, use_remapping=False)),
+        ("w/ Routing & Attn Eng", run_.strategy("zeppelin", use_remapping=False)),
+        ("w/ All", run_.strategy("zeppelin")),
+    )
+
+
+def run(
+    datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
+    num_gpus: int = 32,
+    total_context: int = 128 * 1024,
+    num_steps: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate the Fig. 11 ablation."""
+    headers = ["dataset", "configuration", "tokens_per_second", "speedup_vs_te_cp"]
+    result = ExperimentResult(
+        name="fig11",
+        description="Component ablation (3B, 32 GPUs, Cluster A)",
+        headers=headers,
+    )
+    for dataset in datasets:
+        config = TrainingRunConfig(
+            model="3b",
+            cluster_preset="A",
+            num_gpus=num_gpus,
+            dataset=dataset,
+            total_context=total_context,
+            num_steps=num_steps,
+            seed=seed,
+        )
+        run_ = TrainingRun(config)
+        base = None
+        speedups = {}
+        for label, strategy in _configurations(run_):
+            report = measure_throughput(strategy, run_.batches)
+            if base is None:
+                base = report.tokens_per_second
+            speedup = report.tokens_per_second / base
+            speedups[label] = speedup
+            result.add_row(
+                dataset, label, round(report.tokens_per_second), round(speedup, 2)
+            )
+        result.extra[dataset] = speedups
+    return result
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Run every experiment and write a machine-readable evaluation report.
+
+``python -m repro.experiments.report [output.json]`` regenerates all of the
+paper's tables and figures at laptop scale, writes the structured results to a
+JSON file and prints the tables.  EXPERIMENTS.md's measured columns come from
+this report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable
+
+from repro.experiments import (
+    fig01_length_distributions,
+    fig03_attention_cost_breakdown,
+    fig05_zone_boundaries,
+    fig08_end_to_end,
+    fig09_scalability,
+    fig10_cluster_comparison,
+    fig11_ablation,
+    fig12_timeline,
+    table2_dataset_distributions,
+    table3_cost_distribution,
+)
+from repro.experiments.common import ExperimentResult
+
+# Experiment id -> zero-argument callable producing an ExperimentResult.
+_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": lambda: fig01_length_distributions.run(samples_per_dataset=10000),
+    "table2": table2_dataset_distributions.run,
+    "fig3": fig03_attention_cost_breakdown.run,
+    "fig5": fig05_zone_boundaries.run,
+    "fig8": lambda: fig08_end_to_end.run(num_steps=1),
+    "fig9": lambda: fig09_scalability.run(num_steps=1),
+    "fig10": lambda: fig10_cluster_comparison.run(num_steps=1),
+    "fig11": lambda: fig11_ablation.run(num_steps=1),
+    "fig12": fig12_timeline.run,
+    "table3": table3_cost_distribution.run,
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert experiment extras (tuple keys, dataclasses) into JSON-safe data."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def generate_report(experiments: dict[str, Callable[[], ExperimentResult]] | None = None) -> dict:
+    """Run the selected experiments and collect a structured report."""
+    if experiments is None:
+        experiments = _EXPERIMENTS
+    report: dict[str, Any] = {"experiments": {}}
+    for name, runner in experiments.items():
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        report["experiments"][name] = {
+            "description": result.description,
+            "headers": list(result.headers),
+            "rows": _jsonable(result.rows),
+            "extra": _jsonable(result.extra),
+            "elapsed_s": round(elapsed, 2),
+            "table": result.to_text(),
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run everything, print tables, optionally write JSON."""
+    argv = sys.argv[1:] if argv is None else argv
+    output_path = argv[0] if argv else None
+    report = generate_report()
+    for name, entry in report["experiments"].items():
+        print(entry["table"])
+        print(f"[{name} regenerated in {entry['elapsed_s']}s]")
+        print()
+    if output_path:
+        serializable = {
+            name: {k: v for k, v in entry.items() if k != "table"}
+            for name, entry in report["experiments"].items()
+        }
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(serializable, handle, indent=2)
+        print(f"wrote {output_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

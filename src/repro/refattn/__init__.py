@@ -1,0 +1,28 @@
+"""NumPy reference implementations of the attention computations Zeppelin schedules.
+
+The scheduling layers (partitioner, attention engine, remapping) only move
+tokens around; they must never change the attention output.  This subpackage
+provides a small, exact reference stack used by the test suite to prove that:
+
+* blockwise/online-softmax attention equals monolithic softmax attention,
+* ring attention with the zigzag chunk assignment equals full causal attention,
+* packed variable-length attention with a block-diagonal mask equals running
+  each sequence separately.
+"""
+
+from repro.refattn.attention import causal_attention, full_attention, softmax
+from repro.refattn.online_softmax import blockwise_causal_attention, OnlineSoftmaxState
+from repro.refattn.ring import ring_attention, zigzag_chunk_slices
+from repro.refattn.varlen import varlen_attention, block_diagonal_causal_mask
+
+__all__ = [
+    "causal_attention",
+    "full_attention",
+    "softmax",
+    "blockwise_causal_attention",
+    "OnlineSoftmaxState",
+    "ring_attention",
+    "zigzag_chunk_slices",
+    "varlen_attention",
+    "block_diagonal_causal_mask",
+]

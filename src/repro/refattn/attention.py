@@ -1,0 +1,103 @@
+"""Monolithic multi-head attention references.
+
+Shapes follow the ``(heads, seq, head_dim)`` convention throughout the
+subpackage; batching over multiple sequences is handled by the varlen module.
+All computation is float64 for use as a numerical ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def _check_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> None:
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ValueError("q, k, v must have shape (heads, seq, head_dim)")
+    if q.shape[0] != k.shape[0] or q.shape[0] != v.shape[0]:
+        raise ValueError("q, k, v must agree on the number of heads")
+    if k.shape[1] != v.shape[1]:
+        raise ValueError("k and v must agree on sequence length")
+    if q.shape[2] != k.shape[2]:
+        raise ValueError("q and k must agree on head_dim")
+
+
+def full_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scaled dot-product attention with an optional boolean mask.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(heads, seq_q, d)``, ``(heads, seq_k, d)``,
+        ``(heads, seq_k, d_v)``.
+    mask:
+        Optional boolean array of shape ``(seq_q, seq_k)``; ``True`` marks
+        *allowed* positions.  Rows with no allowed position produce zeros.
+
+    Returns
+    -------
+    np.ndarray
+        Attention output of shape ``(heads, seq_q, d_v)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    _check_qkv(q, k, v)
+    d = q.shape[-1]
+    scores = q @ k.transpose(0, 2, 1) / np.sqrt(d)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (q.shape[1], k.shape[1]):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match (seq_q, seq_k)="
+                f"({q.shape[1]}, {k.shape[1]})"
+            )
+        scores = np.where(mask[None, :, :], scores, -np.inf)
+    # Rows that mask out every key would produce NaNs; define their output as 0.
+    all_masked = ~np.isfinite(scores).any(axis=-1, keepdims=True)
+    scores = np.where(all_masked, 0.0, scores)
+    probs = softmax(scores, axis=-1)
+    probs = np.where(all_masked, 0.0, probs)
+    return probs @ v
+
+
+def causal_mask(seq_len: int, offset: int = 0) -> np.ndarray:
+    """Boolean causal mask: query ``i`` may attend to keys ``j <= i + offset``."""
+    i = np.arange(seq_len)[:, None]
+    j = np.arange(seq_len)[None, :]
+    return j <= i + offset
+
+
+def causal_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Causal (lower-triangular) attention for a single sequence."""
+    _check_qkv(np.asarray(q), np.asarray(k), np.asarray(v))
+    if q.shape[1] != k.shape[1]:
+        raise ValueError("causal attention requires seq_q == seq_k")
+    return full_attention(q, k, v, mask=causal_mask(q.shape[1]))
+
+
+def random_qkv(
+    seq_len: int,
+    heads: int = 2,
+    head_dim: int = 8,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convenience generator of random Q/K/V tensors for tests and examples."""
+    rng = np.random.default_rng(seed)
+    shape = (heads, seq_len, head_dim)
+    q = rng.standard_normal(shape)
+    k = rng.standard_normal(shape)
+    v = rng.standard_normal(shape)
+    return q, k, v

@@ -1,0 +1,146 @@
+"""Blockwise (online-softmax) attention.
+
+Ring attention works because softmax attention can be accumulated one KV block
+at a time while carrying a running maximum and denominator — the same trick
+FlashAttention uses on-chip.  :class:`OnlineSoftmaxState` implements that
+accumulator; :func:`blockwise_causal_attention` uses it to compute causal
+attention over an arbitrary partition of the KV sequence and is the numerical
+core reused by the ring-attention reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class OnlineSoftmaxState:
+    """Running accumulator for softmax attention over successive KV blocks.
+
+    For a fixed query block of shape ``(heads, q_len, d)`` the state keeps:
+
+    * ``m`` — running per-row maximum of the attention scores,
+    * ``denom`` — running softmax denominator rescaled to ``m``,
+    * ``acc`` — running numerator (weighted value sum) rescaled to ``m``.
+
+    After all KV blocks have been absorbed, ``output()`` returns exactly the
+    softmax attention output over the union of the blocks.
+    """
+
+    heads: int
+    q_len: int
+    head_dim_v: int
+
+    def __post_init__(self) -> None:
+        if min(self.heads, self.q_len, self.head_dim_v) <= 0:
+            raise ValueError("heads, q_len and head_dim_v must all be positive")
+        self.m = np.full((self.heads, self.q_len, 1), -np.inf, dtype=np.float64)
+        self.denom = np.zeros((self.heads, self.q_len, 1), dtype=np.float64)
+        self.acc = np.zeros((self.heads, self.q_len, self.head_dim_v), dtype=np.float64)
+
+    def update(
+        self,
+        q: np.ndarray,
+        k_block: np.ndarray,
+        v_block: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Absorb one KV block.
+
+        Parameters
+        ----------
+        q:
+            Query block, shape ``(heads, q_len, d)`` — must be the same block
+            on every call.
+        k_block, v_block:
+            KV block, shapes ``(heads, kv_len, d)`` and ``(heads, kv_len, d_v)``.
+        mask:
+            Optional boolean ``(q_len, kv_len)`` mask of allowed positions.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        k_block = np.asarray(k_block, dtype=np.float64)
+        v_block = np.asarray(v_block, dtype=np.float64)
+        if q.shape[:2] != (self.heads, self.q_len):
+            raise ValueError("query block shape does not match the accumulator")
+        if k_block.shape[1] == 0:
+            return
+        d = q.shape[-1]
+        scores = q @ k_block.transpose(0, 2, 1) / np.sqrt(d)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.q_len, k_block.shape[1]):
+                raise ValueError("mask shape must be (q_len, kv_len)")
+            scores = np.where(mask[None, :, :], scores, -np.inf)
+
+        block_max = np.max(scores, axis=-1, keepdims=True)
+        # Rows fully masked in this block contribute nothing.
+        block_max = np.where(np.isfinite(block_max), block_max, -np.inf)
+        new_m = np.maximum(self.m, block_max)
+
+        # Rescale previous accumulators to the new maximum.  Where new_m is
+        # still -inf (no key seen yet anywhere), keep zeros.
+        with np.errstate(invalid="ignore"):
+            old_scale = np.where(
+                np.isfinite(self.m), np.exp(self.m - new_m), 0.0
+            )
+            probs = np.where(
+                np.isfinite(scores), np.exp(scores - new_m), 0.0
+            )
+        old_scale = np.where(np.isfinite(new_m), old_scale, 0.0)
+
+        self.acc = self.acc * old_scale + probs @ v_block
+        self.denom = self.denom * old_scale + np.sum(probs, axis=-1, keepdims=True)
+        self.m = new_m
+
+    def output(self) -> np.ndarray:
+        """Final attention output; rows that saw no allowed key are zero."""
+        safe_denom = np.where(self.denom > 0, self.denom, 1.0)
+        return np.where(self.denom > 0, self.acc / safe_denom, 0.0)
+
+
+def blockwise_causal_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_size: int,
+    query_offset: int = 0,
+) -> np.ndarray:
+    """Causal attention computed one KV block at a time.
+
+    Parameters
+    ----------
+    q:
+        Query block of shape ``(heads, q_len, d)`` whose absolute positions
+        start at ``query_offset`` within the full sequence.
+    k, v:
+        The full key/value tensors of shape ``(heads, seq, d)``.
+    block_size:
+        KV block size used for the online accumulation.
+    query_offset:
+        Absolute position of the first query token.
+
+    Returns
+    -------
+    np.ndarray
+        The causal attention output for the query block, identical (up to
+        floating point round-off) to slicing the monolithic result.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    heads, q_len, _ = q.shape
+    seq = k.shape[1]
+    state = OnlineSoftmaxState(heads=heads, q_len=q_len, head_dim_v=v.shape[-1])
+    q_pos = query_offset + np.arange(q_len)
+    for start in range(0, seq, block_size):
+        stop = min(start + block_size, seq)
+        k_pos = np.arange(start, stop)
+        mask = k_pos[None, :] <= q_pos[:, None]
+        if not mask.any():
+            continue
+        state.update(q, k[:, start:stop], v[:, start:stop], mask=mask)
+    return state.output()

@@ -1,0 +1,178 @@
+"""Ring attention with the causal-balanced zigzag chunk assignment (Fig. 6).
+
+A sequence executed on a ring of ``G`` ranks is cut into ``2G`` equal-length
+chunks; rank ``i`` owns chunk ``i`` and chunk ``2G - 1 - i``.  Pairing an early
+chunk with a late chunk balances the causal-mask work across ranks.  Execution
+proceeds in ``G`` rounds: in round ``r`` every rank computes attention of its
+query chunks against the KV chunks originally owned by rank ``(i - r) mod G``
+while forwarding its current KV payload around the ring.
+
+:func:`ring_attention` reproduces that computation numerically (using the
+online-softmax accumulator) and returns both the per-rank outputs and the exact
+full-sequence output reassembled from them, so tests can assert equality with
+:func:`repro.refattn.attention.causal_attention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.refattn.online_softmax import OnlineSoftmaxState
+from repro.utils.validation import check_positive
+
+
+def zigzag_chunk_slices(seq_len: int, group_size: int) -> list[tuple[slice, slice]]:
+    """Chunk ownership of each rank under the zigzag assignment.
+
+    The sequence is split into ``2 * group_size`` near-equal contiguous chunks
+    (earlier chunks take the remainder).  Rank ``i`` owns chunk ``i`` (its
+    "head" chunk) and chunk ``2G - 1 - i`` (its "tail" chunk).
+
+    Returns
+    -------
+    list[tuple[slice, slice]]
+        For each rank, ``(head_slice, tail_slice)`` into the full sequence.
+    """
+    check_positive("seq_len", seq_len)
+    check_positive("group_size", group_size)
+    num_chunks = 2 * group_size
+    base = seq_len // num_chunks
+    extra = seq_len % num_chunks
+    bounds = [0]
+    for c in range(num_chunks):
+        bounds.append(bounds[-1] + base + (1 if c < extra else 0))
+    slices = [slice(bounds[c], bounds[c + 1]) for c in range(num_chunks)]
+    return [(slices[i], slices[num_chunks - 1 - i]) for i in range(group_size)]
+
+
+def zigzag_chunk_token_counts(seq_len: int, group_size: int) -> list[int]:
+    """Number of tokens owned by each rank under the zigzag assignment."""
+    return [
+        (head.stop - head.start) + (tail.stop - tail.start)
+        for head, tail in zigzag_chunk_slices(seq_len, group_size)
+    ]
+
+
+@dataclass(frozen=True)
+class RingAttentionResult:
+    """Output of the ring-attention reference.
+
+    Attributes
+    ----------
+    per_rank_outputs:
+        For each rank, ``(head_output, tail_output)`` arrays of shape
+        ``(heads, chunk_len, d_v)``.
+    combined:
+        The full-sequence attention output reassembled from the per-rank
+        chunks, shape ``(heads, seq_len, d_v)``.
+    rounds:
+        Number of communication rounds executed (``group_size``).
+    """
+
+    per_rank_outputs: tuple[tuple[np.ndarray, np.ndarray], ...]
+    combined: np.ndarray
+    rounds: int
+
+
+def ring_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    group_size: int,
+) -> RingAttentionResult:
+    """Causal attention computed with zigzag ring attention over ``group_size`` ranks.
+
+    Parameters
+    ----------
+    q, k, v:
+        Full-sequence tensors of shape ``(heads, seq, d)`` / ``(heads, seq, d_v)``.
+    group_size:
+        Ring size ``G``; the sequence is split into ``2G`` chunks.
+
+    Returns
+    -------
+    RingAttentionResult
+        Per-rank chunk outputs plus the reassembled full-sequence output.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if q.shape != k.shape or q.shape[:2] != v.shape[:2]:
+        raise ValueError("q, k, v must agree on (heads, seq)")
+    heads, seq_len, _ = q.shape
+    check_positive("group_size", group_size)
+    if seq_len < 2 * group_size:
+        raise ValueError(
+            f"sequence of {seq_len} tokens cannot be split into {2 * group_size} chunks"
+        )
+
+    ownership = zigzag_chunk_slices(seq_len, group_size)
+
+    # Per-rank query blocks with their absolute positions.
+    rank_queries = []
+    rank_states = []
+    for head_sl, tail_sl in ownership:
+        positions = np.concatenate(
+            [np.arange(head_sl.start, head_sl.stop), np.arange(tail_sl.start, tail_sl.stop)]
+        )
+        q_block = np.concatenate([q[:, head_sl], q[:, tail_sl]], axis=1)
+        rank_queries.append((q_block, positions))
+        rank_states.append(
+            OnlineSoftmaxState(heads=heads, q_len=len(positions), head_dim_v=v.shape[-1])
+        )
+
+    # Each rank starts holding the KV of its own chunks; after each round the
+    # payload moves to the next rank in the ring (rank i receives from i-1).
+    payloads = []
+    for head_sl, tail_sl in ownership:
+        kv_positions = np.concatenate(
+            [np.arange(head_sl.start, head_sl.stop), np.arange(tail_sl.start, tail_sl.stop)]
+        )
+        k_block = np.concatenate([k[:, head_sl], k[:, tail_sl]], axis=1)
+        v_block = np.concatenate([v[:, head_sl], v[:, tail_sl]], axis=1)
+        payloads.append((k_block, v_block, kv_positions))
+
+    for _ in range(group_size):
+        for rank in range(group_size):
+            q_block, q_pos = rank_queries[rank]
+            k_block, v_block, kv_pos = payloads[rank]
+            mask = kv_pos[None, :] <= q_pos[:, None]
+            if mask.any():
+                rank_states[rank].update(q_block, k_block, v_block, mask=mask)
+        # Rotate payloads: rank i's payload moves to rank i+1.
+        payloads = [payloads[(rank - 1) % group_size] for rank in range(group_size)]
+
+    per_rank = []
+    combined = np.zeros((heads, seq_len, v.shape[-1]), dtype=np.float64)
+    for rank, (head_sl, tail_sl) in enumerate(ownership):
+        out = rank_states[rank].output()
+        head_len = head_sl.stop - head_sl.start
+        head_out = out[:, :head_len]
+        tail_out = out[:, head_len:]
+        per_rank.append((head_out, tail_out))
+        combined[:, head_sl] = head_out
+        combined[:, tail_sl] = tail_out
+
+    return RingAttentionResult(
+        per_rank_outputs=tuple(per_rank), combined=combined, rounds=group_size
+    )
+
+
+def ring_rank_flops(seq_len: int, group_size: int, hidden_size: int) -> list[float]:
+    """Analytic per-rank attention FLOPs under the zigzag assignment.
+
+    Used by tests to confirm the assignment balances causal work: the spread
+    between the heaviest and lightest rank should be small compared to a naive
+    contiguous split.
+    """
+    ownership = zigzag_chunk_slices(seq_len, group_size)
+    flops = []
+    for head_sl, tail_sl in ownership:
+        pairs = 0.0
+        for sl in (head_sl, tail_sl):
+            for pos in range(sl.start, sl.stop):
+                pairs += pos + 1
+        flops.append(4.0 * pairs * hidden_size)
+    return flops

@@ -1,0 +1,110 @@
+"""Packed variable-length attention.
+
+The local queue of the attention engine and the input-balanced-pack baseline
+both run several sequences through a single attention call.  The correct kernel
+uses a block-diagonal causal mask so tokens never attend across sequence
+boundaries; the naive packed kernel applies a single causal mask over the whole
+buffer and therefore performs (wasted) cross-sequence attention.  Both are
+implemented here so tests can quantify the difference and verify the
+block-diagonal version matches per-sequence attention exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.refattn.attention import causal_attention, full_attention
+from repro.utils.validation import check_positive
+
+
+def block_diagonal_causal_mask(lengths: list[int] | tuple[int, ...]) -> np.ndarray:
+    """Boolean mask allowing causal attention only within each packed sequence.
+
+    ``lengths`` are the packed sequence lengths in order; the result has shape
+    ``(sum(lengths), sum(lengths))``.
+    """
+    if not lengths:
+        raise ValueError("lengths must be non-empty")
+    for l in lengths:
+        check_positive("length", l)
+    total = sum(lengths)
+    mask = np.zeros((total, total), dtype=bool)
+    offset = 0
+    for l in lengths:
+        block = np.tril(np.ones((l, l), dtype=bool))
+        mask[offset : offset + l, offset : offset + l] = block
+        offset += l
+    return mask
+
+
+def varlen_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lengths: list[int] | tuple[int, ...],
+    cross_sequence: bool = False,
+) -> np.ndarray:
+    """Attention over a packed buffer of variable-length sequences.
+
+    Parameters
+    ----------
+    q, k, v:
+        Packed tensors of shape ``(heads, sum(lengths), d)``.
+    lengths:
+        Lengths of the packed sequences, in packing order.
+    cross_sequence:
+        ``False`` (default) applies the correct block-diagonal causal mask;
+        ``True`` applies a single causal mask over the whole buffer — the
+        "redundant computation" variant of Fig. 3.a.
+    """
+    total = sum(lengths)
+    if q.shape[1] != total:
+        raise ValueError(
+            f"packed length {q.shape[1]} does not match sum of lengths {total}"
+        )
+    if cross_sequence:
+        i = np.arange(total)[:, None]
+        j = np.arange(total)[None, :]
+        mask = j <= i
+    else:
+        mask = block_diagonal_causal_mask(lengths)
+    return full_attention(q, k, v, mask=mask)
+
+
+def per_sequence_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lengths: list[int] | tuple[int, ...],
+) -> np.ndarray:
+    """Run causal attention independently per packed sequence and re-pack.
+
+    This is the ground truth the block-diagonal varlen kernel must match.
+    """
+    total = sum(lengths)
+    if q.shape[1] != total:
+        raise ValueError("packed length does not match sum of lengths")
+    out = np.zeros((q.shape[0], total, v.shape[-1]), dtype=np.float64)
+    offset = 0
+    for l in lengths:
+        sl = slice(offset, offset + l)
+        out[:, sl] = causal_attention(q[:, sl], k[:, sl], v[:, sl])
+        offset += l
+    return out
+
+
+def cross_sequence_flops_fraction(lengths: list[int] | tuple[int, ...]) -> float:
+    """Fraction of packed-attention work wasted on cross-sequence positions.
+
+    Computed from mask cardinalities: the naive packed kernel evaluates
+    ``T(T+1)/2`` (query, key) pairs for a buffer of ``T`` tokens, while only
+    ``sum(l_i (l_i + 1) / 2)`` pairs are useful.
+    """
+    if not lengths:
+        return 0.0
+    total = sum(lengths)
+    naive = total * (total + 1) / 2.0
+    useful = sum(l * (l + 1) / 2.0 for l in lengths)
+    if naive == 0:
+        return 0.0
+    return 1.0 - useful / naive

@@ -1,0 +1,42 @@
+"""Event queue primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Event:
+    """A task-completion event ordered by time (ties broken by sequence number)."""
+
+    time_s: float
+    sequence: int
+    task_id: int = field(compare=False)
+
+
+class EventQueue:
+    """A min-heap of completion events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = 0
+
+    def push(self, time_s: float, task_id: int) -> None:
+        """Schedule the completion of ``task_id`` at ``time_s``."""
+        if time_s < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, Event(time_s=time_s, sequence=self._counter, task_id=task_id))
+        self._counter += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,145 @@
+"""Execution traces: per-task spans and per-rank timeline accounting (Fig. 12).
+
+The simulator records a :class:`TraceSpan` for every executed task.  The trace
+answers the questions the paper's timeline analysis asks: how long each rank
+spends in attention compute, intra-node communication and inter-node
+communication, how much of the communication is hidden behind compute, and what
+the per-round costs look like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import TaskKind
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One executed task: when it ran, where, and what kind of work it was."""
+
+    task_id: int
+    name: str
+    kind: TaskKind
+    rank: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Trace:
+    """All spans of one simulated plan."""
+
+    spans: list[TraceSpan] = field(default_factory=list)
+
+    def add(self, span: TraceSpan) -> None:
+        self.spans.append(span)
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock span of the trace (latest end time)."""
+        return max((s.end_s for s in self.spans), default=0.0)
+
+    def spans_for_rank(self, rank: int) -> list[TraceSpan]:
+        """Spans attributed to a rank, ordered by start time."""
+        return sorted(
+            (s for s in self.spans if s.rank == rank), key=lambda s: s.start_s
+        )
+
+    def busy_time(self, rank: int, kinds: set[TaskKind] | None = None) -> float:
+        """Total busy time of a rank, optionally restricted to task kinds.
+
+        Overlapping spans (e.g. a compute task and a NIC transfer attributed to
+        the same rank) are merged so the result never exceeds the makespan.
+        """
+        intervals = [
+            (s.start_s, s.end_s)
+            for s in self.spans
+            if s.rank == rank and (kinds is None or s.kind in kinds) and s.end_s > s.start_s
+        ]
+        if not intervals:
+            return 0.0
+        intervals.sort()
+        merged_total = 0.0
+        cur_start, cur_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                merged_total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        merged_total += cur_end - cur_start
+        return merged_total
+
+    def time_by_kind(self) -> dict[TaskKind, float]:
+        """Total (non-overlap-merged) duration by task kind."""
+        totals: dict[TaskKind, float] = {}
+        for s in self.spans:
+            totals[s.kind] = totals.get(s.kind, 0.0) + s.duration_s
+        return totals
+
+    def communication_exposed_s(self, rank: int) -> float:
+        """Communication time of a rank not hidden behind its compute.
+
+        Computed as the union of the rank's communication spans minus the parts
+        overlapping any of its compute spans — the "bubbles" of Fig. 12.
+        """
+        comm = [
+            (s.start_s, s.end_s)
+            for s in self.spans
+            if s.rank == rank and s.kind.is_communication and s.end_s > s.start_s
+        ]
+        compute = [
+            (s.start_s, s.end_s)
+            for s in self.spans
+            if s.rank == rank and not s.kind.is_communication and s.end_s > s.start_s
+        ]
+        if not comm:
+            return 0.0
+        exposed = 0.0
+        for c_start, c_end in comm:
+            segments = [(c_start, c_end)]
+            for k_start, k_end in compute:
+                next_segments = []
+                for s_start, s_end in segments:
+                    if k_end <= s_start or k_start >= s_end:
+                        next_segments.append((s_start, s_end))
+                        continue
+                    if k_start > s_start:
+                        next_segments.append((s_start, k_start))
+                    if k_end < s_end:
+                        next_segments.append((k_end, s_end))
+                segments = next_segments
+            exposed += sum(e - s for s, e in segments)
+        return exposed
+
+
+def summarize_trace(trace: Trace, ranks: list[int] | None = None) -> dict[str, float]:
+    """Aggregate statistics used by the Fig. 12 / Table 3 reproductions."""
+    if ranks is None:
+        ranks = sorted({s.rank for s in trace.spans if s.rank >= 0})
+    by_kind = trace.time_by_kind()
+    compute_kinds = {TaskKind.ATTENTION, TaskKind.LINEAR}
+    summary = {
+        "makespan_s": trace.makespan_s,
+        "total_attention_s": by_kind.get(TaskKind.ATTENTION, 0.0),
+        "total_linear_s": by_kind.get(TaskKind.LINEAR, 0.0),
+        "total_intra_comm_s": by_kind.get(TaskKind.INTRA_COMM, 0.0)
+        + by_kind.get(TaskKind.DISPATCH, 0.0)
+        + by_kind.get(TaskKind.COMBINE, 0.0),
+        "total_inter_comm_s": by_kind.get(TaskKind.INTER_COMM, 0.0),
+        "total_remap_s": by_kind.get(TaskKind.REMAP, 0.0),
+    }
+    if ranks:
+        busy = [trace.busy_time(r, kinds=compute_kinds) for r in ranks]
+        exposed = [trace.communication_exposed_s(r) for r in ranks]
+        summary["max_rank_compute_s"] = max(busy)
+        summary["min_rank_compute_s"] = min(busy)
+        summary["mean_rank_compute_s"] = sum(busy) / len(busy)
+        summary["max_rank_exposed_comm_s"] = max(exposed)
+        summary["mean_rank_exposed_comm_s"] = sum(exposed) / len(exposed)
+    return summary

@@ -1,0 +1,112 @@
+"""ASCII rendering of simulated execution timelines (Fig. 12-style).
+
+Turns a :class:`~repro.sim.trace.Trace` into a per-rank text Gantt chart so the
+overlap structure — attention rounds, KV transfers, routing dispatch/combine,
+remapping — can be inspected in a terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import TaskKind
+from repro.sim.trace import Trace
+from repro.utils.validation import check_positive
+
+# One character per task kind; communication kinds are lowercase.
+_KIND_CHARS = {
+    TaskKind.ATTENTION: "A",
+    TaskKind.LINEAR: "L",
+    TaskKind.INTRA_COMM: "i",
+    TaskKind.INTER_COMM: "x",
+    TaskKind.DISPATCH: "d",
+    TaskKind.COMBINE: "c",
+    TaskKind.REMAP: "r",
+    TaskKind.ALLGATHER: "g",
+    TaskKind.OTHER: ".",
+}
+
+
+def kind_legend() -> str:
+    """One-line legend mapping timeline characters to task kinds."""
+    return ", ".join(f"{char}={kind.value}" for kind, char in _KIND_CHARS.items())
+
+
+def render_timeline(
+    trace: Trace,
+    ranks: list[int] | None = None,
+    width: int = 100,
+) -> str:
+    """Render a per-rank ASCII Gantt chart of the trace.
+
+    Parameters
+    ----------
+    trace:
+        The simulated trace.
+    ranks:
+        Ranks to render (default: every rank appearing in the trace).
+    width:
+        Number of character columns the full makespan is mapped onto.
+
+    Returns
+    -------
+    str
+        One line per rank, ``'-'`` marking idle time and the legend characters
+        marking busy time.  When several spans of different kinds fall into the
+        same column, compute kinds win over communication kinds so the chart
+        highlights exposed (unhidden) communication.
+    """
+    check_positive("width", width)
+    makespan = trace.makespan_s
+    if makespan <= 0 or not trace.spans:
+        return "(empty trace)"
+    if ranks is None:
+        ranks = sorted({s.rank for s in trace.spans if s.rank >= 0})
+
+    # Priority when multiple spans overlap a column: compute > comm > other.
+    priority = {
+        TaskKind.ATTENTION: 3,
+        TaskKind.LINEAR: 3,
+        TaskKind.REMAP: 2,
+        TaskKind.ALLGATHER: 2,
+        TaskKind.INTER_COMM: 2,
+        TaskKind.INTRA_COMM: 2,
+        TaskKind.DISPATCH: 2,
+        TaskKind.COMBINE: 2,
+        TaskKind.OTHER: 1,
+    }
+
+    lines = []
+    for rank in ranks:
+        cells: list[tuple[int, str]] = [(0, "-")] * width
+        for span in trace.spans_for_rank(rank):
+            if span.duration_s <= 0:
+                continue
+            start_col = int(span.start_s / makespan * width)
+            end_col = max(start_col + 1, int(span.end_s / makespan * width))
+            char = _KIND_CHARS[span.kind]
+            prio = priority[span.kind]
+            for col in range(start_col, min(end_col, width)):
+                if prio > cells[col][0]:
+                    cells[col] = (prio, char)
+        lines.append(f"rank {rank:>3d} |" + "".join(c for _, c in cells) + "|")
+    header = f"timeline: {makespan * 1000:.2f} ms over {width} columns ({kind_legend()})"
+    return "\n".join([header] + lines)
+
+
+def timeline_summary_lines(trace: Trace, ranks: list[int] | None = None) -> list[str]:
+    """Per-rank one-line summaries: busy compute, communication, exposed comm."""
+    if ranks is None:
+        ranks = sorted({s.rank for s in trace.spans if s.rank >= 0})
+    compute_kinds = {TaskKind.ATTENTION, TaskKind.LINEAR}
+    lines = []
+    for rank in ranks:
+        compute = trace.busy_time(rank, kinds=compute_kinds)
+        comm = trace.busy_time(
+            rank, kinds={k for k in TaskKind if k.is_communication}
+        )
+        exposed = trace.communication_exposed_s(rank)
+        lines.append(
+            f"rank {rank:>3d}: compute {compute * 1000:7.2f} ms, "
+            f"communication {comm * 1000:7.2f} ms "
+            f"({exposed * 1000:.2f} ms exposed)"
+        )
+    return lines

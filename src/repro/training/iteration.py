@@ -1,0 +1,121 @@
+"""Simulate one training iteration for a strategy.
+
+One iteration = forward + backward over all transformer layers, plus small
+per-iteration overheads (the sequence partitioner, optimizer step, embedding /
+LM-head work).  Strategies plan a *single representative layer*; the iteration
+time scales the simulated layer makespans by the layer count.  This mirrors how
+the real system repeats the same per-layer schedule for every layer, and keeps
+plans small enough to simulate quickly even at 128 GPUs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.plan import ExecutionPlan
+from repro.core.strategy import Strategy
+from repro.data.sampler import Batch
+from repro.model.flops import embedding_flops_per_token
+from repro.sim.engine import SimulationResult, Simulator
+from repro.utils.validation import check_positive
+
+# Fixed per-iteration overhead for the optimizer step and data loading, in
+# seconds.  Identical across strategies, so it only dampens relative speedups
+# slightly (as it does in reality).
+_OPTIMIZER_STEP_OVERHEAD_S = 0.015
+
+
+@dataclass
+class IterationResult:
+    """Timing of one simulated training iteration."""
+
+    strategy: str
+    batch_tokens: int
+    forward_layer_s: float
+    backward_layer_s: float
+    num_layers: int
+    partition_overhead_s: float
+    misc_overhead_s: float
+    forward_result: SimulationResult
+    backward_result: SimulationResult
+
+    @property
+    def iteration_time_s(self) -> float:
+        """End-to-end time of the iteration."""
+        return (
+            (self.forward_layer_s + self.backward_layer_s) * self.num_layers
+            + self.partition_overhead_s
+            + self.misc_overhead_s
+        )
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Training throughput for this iteration."""
+        return self.batch_tokens / self.iteration_time_s
+
+    @property
+    def forward_time_s(self) -> float:
+        """Forward-pass portion of the iteration."""
+        return self.forward_layer_s * self.num_layers
+
+    @property
+    def backward_time_s(self) -> float:
+        """Backward-pass portion of the iteration."""
+        return self.backward_layer_s * self.num_layers
+
+
+def _misc_overhead_s(strategy: Strategy, batch: Batch) -> float:
+    """Embedding/LM-head compute plus the optimizer step, per iteration."""
+    tokens_per_rank = batch.total_tokens / max(1, strategy.context.dp_world_size)
+    embed_flops = embedding_flops_per_token(strategy.spec) * tokens_per_rank
+    embed_s = embed_flops / (
+        strategy.compute.peak_flops * 0.5 * strategy.context.tensor_parallel
+    )
+    return _OPTIMIZER_STEP_OVERHEAD_S + embed_s * 3.0  # forward + backward
+
+
+def simulate_iteration(
+    strategy: Strategy,
+    batch: Batch,
+    simulator: Simulator | None = None,
+    record_trace: bool = True,
+) -> IterationResult:
+    """Plan, simulate and scale one full training iteration.
+
+    Parameters
+    ----------
+    strategy:
+        The scheduling strategy under test.
+    batch:
+        The global batch of the iteration.
+    simulator:
+        Optional shared simulator instance.
+    record_trace:
+        Record per-task traces (needed for the Fig. 12 analysis; disable for
+        large benchmark sweeps).
+    """
+    if simulator is None:
+        simulator = Simulator(record_trace=record_trace)
+
+    wall_start = time.perf_counter()
+    forward_plan: ExecutionPlan = strategy.plan_layer(batch, phase="forward")
+    backward_plan: ExecutionPlan = strategy.plan_layer(batch, phase="backward")
+    partition_overhead = time.perf_counter() - wall_start
+
+    forward = simulator.run(forward_plan)
+    backward = simulator.run(backward_plan)
+
+    num_layers = strategy.spec.num_layers
+    check_positive("num_layers", num_layers)
+    return IterationResult(
+        strategy=strategy.name,
+        batch_tokens=batch.total_tokens,
+        forward_layer_s=forward.makespan_s,
+        backward_layer_s=backward.makespan_s,
+        num_layers=num_layers,
+        partition_overhead_s=partition_overhead,
+        misc_overhead_s=_misc_overhead_s(strategy, batch),
+        forward_result=forward,
+        backward_result=backward,
+    )

@@ -1,0 +1,155 @@
+"""High-level training-run API used by examples and experiments.
+
+:class:`TrainingRunConfig` captures one evaluation cell of the paper (model,
+cluster, dataset, context length, parallel degrees); :class:`TrainingRun`
+materialises the cluster, samples the synthetic batches, instantiates the
+requested strategies and reports their throughput side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.hybrid_dp import HybridDPStrategy
+from repro.baselines.llama_cp import LlamaCPStrategy
+from repro.baselines.packing import PackingStrategy
+from repro.baselines.te_cp import TransformerEngineCPStrategy
+from repro.cluster.presets import make_cluster, cluster_a, cluster_b, cluster_c
+from repro.cluster.topology import Cluster
+from repro.core.strategy import Strategy, StrategyContext
+from repro.core.zeppelin import ZeppelinStrategy
+from repro.data.datasets import SyntheticDataset
+from repro.data.sampler import Batch
+from repro.model.spec import TransformerSpec, get_model
+from repro.training.throughput import ThroughputReport, measure_throughput
+from repro.utils.validation import check_positive
+
+STRATEGY_NAMES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin", "packing")
+
+
+@dataclass(frozen=True)
+class TrainingRunConfig:
+    """One evaluation configuration.
+
+    Attributes
+    ----------
+    model:
+        Model preset name or alias (``"7b"``, ``"llama-13b"``, ``"8x550m"``...).
+    cluster_preset:
+        ``"A"``, ``"B"`` or ``"C"`` (the paper's clusters).
+    num_gpus:
+        Total GPUs; must be a multiple of 8 (nodes are 8-GPU).
+    dataset:
+        Length-distribution name (``"arxiv"``, ``"github"``, ``"prolong64k"``).
+    total_context:
+        Total tokens per iteration (64k / 128k / 256k in the paper).
+    tensor_parallel:
+        Tensor-parallel degree (1 or 2 in the paper).
+    num_steps:
+        Number of batches to average throughput over.
+    seed:
+        Batch sampling seed.
+    """
+
+    model: str
+    cluster_preset: str = "A"
+    num_gpus: int = 16
+    dataset: str = "arxiv"
+    total_context: int = 64 * 1024
+    tensor_parallel: int = 1
+    num_steps: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_gpus", self.num_gpus)
+        check_positive("total_context", self.total_context)
+        check_positive("tensor_parallel", self.tensor_parallel)
+        check_positive("num_steps", self.num_steps)
+        if self.num_gpus % 8 != 0:
+            raise ValueError("num_gpus must be a multiple of 8 (8-GPU nodes)")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_gpus // 8
+
+    @property
+    def tokens_per_gpu(self) -> int:
+        return self.total_context // self.num_gpus
+
+    @property
+    def tokens_per_dp_rank(self) -> int:
+        """Per-logical-rank token budget (the paper's ``L``)."""
+        return self.total_context // (self.num_gpus // self.tensor_parallel)
+
+
+def build_cluster(config: TrainingRunConfig) -> Cluster:
+    """Instantiate the cluster preset for a run configuration."""
+    preset = config.cluster_preset.upper()
+    if preset == "A":
+        return cluster_a(num_nodes=config.num_nodes)
+    if preset == "B":
+        return cluster_b(num_nodes=config.num_nodes)
+    if preset == "C":
+        return cluster_c(num_nodes=config.num_nodes)
+    raise ValueError(f"unknown cluster preset {config.cluster_preset!r}")
+
+
+def build_strategy(
+    name: str,
+    context: StrategyContext,
+    **kwargs,
+) -> Strategy:
+    """Construct a strategy by short name."""
+    key = name.lower()
+    if key == "te_cp":
+        return TransformerEngineCPStrategy(context, **kwargs)
+    if key == "llama_cp":
+        return LlamaCPStrategy(context, **kwargs)
+    if key == "hybrid_dp":
+        return HybridDPStrategy(context, **kwargs)
+    if key == "zeppelin":
+        return ZeppelinStrategy(context, **kwargs)
+    if key == "packing":
+        return PackingStrategy(context, **kwargs)
+    raise ValueError(f"unknown strategy {name!r}; available: {STRATEGY_NAMES}")
+
+
+@dataclass
+class TrainingRun:
+    """Materialised run: cluster, model, batches, and strategy comparison."""
+
+    config: TrainingRunConfig
+    cluster: Cluster = field(init=False)
+    spec: TransformerSpec = field(init=False)
+    context: StrategyContext = field(init=False)
+    batches: list[Batch] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cluster = build_cluster(self.config)
+        self.spec = get_model(self.config.model)
+        self.context = StrategyContext(
+            cluster=self.cluster,
+            spec=self.spec,
+            token_budget=self.config.tokens_per_dp_rank,
+            tensor_parallel=self.config.tensor_parallel,
+        )
+        dataset = SyntheticDataset(
+            name=self.config.dataset,
+            total_context=self.config.total_context,
+            seed=self.config.seed,
+        )
+        self.batches = dataset.batches(self.config.num_steps)
+
+    def strategy(self, name: str, **kwargs) -> Strategy:
+        """Build one strategy bound to this run's context."""
+        return build_strategy(name, self.context, **kwargs)
+
+    def run_strategy(self, name: str, **kwargs) -> ThroughputReport:
+        """Measure one strategy's throughput over this run's batches."""
+        return measure_throughput(self.strategy(name, **kwargs), self.batches)
+
+    def compare(
+        self, strategy_names: tuple[str, ...] = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+    ) -> list[ThroughputReport]:
+        """Measure several strategies on identical batches (baseline first)."""
+        return [self.run_strategy(name) for name in strategy_names]

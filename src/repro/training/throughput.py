@@ -1,0 +1,93 @@
+"""Throughput measurement and speedup reporting.
+
+The paper reports tokens/second averaged over training steps 50-150 and
+normalises every configuration against the TE CP baseline (the "1x" bars of
+Fig. 8-11).  :func:`measure_throughput` averages simulated iterations over a
+number of sampled batches; :func:`speedup_table` builds the normalised
+comparison rows the experiments print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strategy import Strategy
+from repro.data.sampler import Batch
+from repro.sim.engine import Simulator
+from repro.training.iteration import IterationResult, simulate_iteration
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ThroughputReport:
+    """Average throughput of a strategy over several batches."""
+
+    strategy: str
+    tokens_per_second: float
+    iteration_time_s: float
+    total_tokens: int
+    num_batches: int
+    iterations: list[IterationResult] = field(default_factory=list)
+
+    def speedup_over(self, baseline: "ThroughputReport") -> float:
+        """Throughput ratio against a baseline report."""
+        if baseline.tokens_per_second == 0:
+            raise ZeroDivisionError("baseline throughput is zero")
+        return self.tokens_per_second / baseline.tokens_per_second
+
+
+def measure_throughput(
+    strategy: Strategy,
+    batches: list[Batch],
+    record_trace: bool = False,
+) -> ThroughputReport:
+    """Average tokens/second of ``strategy`` over ``batches``."""
+    if not batches:
+        raise ValueError("need at least one batch")
+    simulator = Simulator(record_trace=record_trace)
+    iterations = []
+    total_tokens = 0
+    total_time = 0.0
+    for batch in batches:
+        result = simulate_iteration(strategy, batch, simulator=simulator)
+        iterations.append(result)
+        total_tokens += batch.total_tokens
+        total_time += result.iteration_time_s
+    check_positive("total simulated time", total_time)
+    return ThroughputReport(
+        strategy=strategy.name,
+        tokens_per_second=total_tokens / total_time,
+        iteration_time_s=total_time / len(batches),
+        total_tokens=total_tokens,
+        num_batches=len(batches),
+        iterations=iterations,
+    )
+
+
+def speedup_table(
+    reports: list[ThroughputReport],
+    baseline_name: str | None = None,
+) -> list[dict[str, float | str]]:
+    """Rows of (strategy, tokens/s, speedup-vs-baseline) for experiment output.
+
+    The baseline defaults to the first report (the paper normalises against
+    TE CP, which experiments list first).
+    """
+    if not reports:
+        return []
+    baseline = reports[0]
+    if baseline_name is not None:
+        matches = [r for r in reports if r.strategy == baseline_name]
+        if not matches:
+            raise KeyError(f"no report named {baseline_name!r}")
+        baseline = matches[0]
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "strategy": report.strategy,
+                "tokens_per_second": report.tokens_per_second,
+                "speedup": report.speedup_over(baseline),
+            }
+        )
+    return rows

@@ -1,0 +1,17 @@
+"""Shared utilities: argument validation and table rendering."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_fraction,
+    check_in,
+)
+from repro.utils.tables import render_table
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in",
+    "render_table",
+]

@@ -1,0 +1,39 @@
+"""Lightweight argument validation helpers used across the library.
+
+Every public constructor in the library validates its inputs eagerly so that a
+mis-configured experiment fails at construction time with a clear message,
+rather than deep inside the simulator with an obscure one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is strictly positive, otherwise raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if it is >= 0, otherwise raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Return ``value`` if it is a member of ``allowed``, otherwise raise ``ValueError``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

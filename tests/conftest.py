@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.presets import cluster_a, cluster_b, cluster_c, make_cluster
+from repro.core.strategy import StrategyContext
+from repro.data.sampler import Batch
+from repro.model.spec import get_model
+
+
+@pytest.fixture(scope="session")
+def cluster_a2():
+    """Cluster A with two nodes (16 A800 GPUs, 4 NICs per node)."""
+    return cluster_a(num_nodes=2)
+
+
+@pytest.fixture(scope="session")
+def cluster_a4():
+    """Cluster A with four nodes (32 GPUs)."""
+    return cluster_a(num_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def cluster_b2():
+    """Cluster B with two nodes (16 H800 GPUs, 8 NICs per node)."""
+    return cluster_b(num_nodes=2)
+
+
+@pytest.fixture(scope="session")
+def cluster_c2():
+    """Cluster C with two nodes (16 H200 GPUs, 8x400G NICs per node)."""
+    return cluster_c(num_nodes=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_cluster():
+    """A deliberately small cluster (2 nodes x 4 GPUs, 2 NICs/node)."""
+    return make_cluster(
+        name="tiny",
+        num_nodes=2,
+        gpus_per_node=4,
+        device_type="A800",
+        nics_per_node=2,
+        nic_gbps=200.0,
+        intra_node_gBps=400.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def spec_7b():
+    return get_model("7b")
+
+
+@pytest.fixture(scope="session")
+def spec_3b():
+    return get_model("3b")
+
+
+@pytest.fixture(scope="session")
+def spec_moe():
+    return get_model("8x550m")
+
+
+@pytest.fixture
+def mixed_batch():
+    """A variable-length batch mixing local, intra-node and inter-node scales.
+
+    Totals 61,248 tokens — inside the 65,536-token budget of a 16-GPU cluster
+    at 4k tokens per GPU; the 32k sequence reaches the inter-node threshold.
+    """
+    return Batch.from_lengths([32768, 12288, 8192, 4096, 2048, 1024, 512, 320])
+
+
+@pytest.fixture
+def short_batch():
+    """A batch of only short sequences (fits entirely in the local zone)."""
+    return Batch.from_lengths([1024, 896, 768, 640, 512, 384, 320, 256, 1200, 1500])
+
+
+@pytest.fixture
+def context_16(cluster_a2, spec_7b):
+    """Strategy context: 7B model, 16 GPUs, 4k tokens per GPU."""
+    return StrategyContext(
+        cluster=cluster_a2, spec=spec_7b, token_budget=4096, tensor_parallel=1
+    )
+
+
+@pytest.fixture
+def context_3b_16(cluster_a2, spec_3b):
+    """Strategy context: 3B model, 16 GPUs, 4k tokens per GPU."""
+    return StrategyContext(
+        cluster=cluster_a2, spec=spec_3b, token_budget=4096, tensor_parallel=1
+    )

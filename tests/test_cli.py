@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_MODULES, build_parser, main
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "7b"
+        assert args.gpus == 16
+        assert args.strategies == ["te_cp", "llama_cp", "hybrid_dp", "zeppelin"]
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_experiment_module_is_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENT_MODULES.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run") and hasattr(module, "main")
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "llama-7b" in out
+        assert "zeppelin" in out
+        assert "fig8" in out
+
+    def test_compare_command_small_config(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "3b",
+                "--gpus", "16",
+                "--dataset", "arxiv",
+                "--context-k", "32",
+                "--steps", "1",
+                "--strategies", "te_cp", "zeppelin",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TE CP" in out and "Zeppelin" in out
+        assert "speedup" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "arxiv" in out and "prolong64k" in out

@@ -1,0 +1,174 @@
+"""Tests for the attention engine: queues, ring rounds, routed hops."""
+
+import pytest
+
+from repro.core.attention_engine import AttentionEngine, causal_pairs_between
+from repro.core.partitioner import SequencePartitioner
+from repro.core.plan import ExecutionPlan, TaskKind
+from repro.core.routing import RoutingLayer
+from repro.core.zones import Zone
+from repro.costs.comm import CommCostModel
+from repro.costs.compute import ComputeCostModel
+from repro.data.sampler import Batch
+from repro.sim.engine import Simulator
+
+
+def make_engine(cluster, routing_enabled=True, balanced=True):
+    compute = ComputeCostModel(
+        peak_flops=cluster.peak_flops_per_gpu, device_type=cluster.device_type
+    )
+    comm = CommCostModel(cluster)
+    routing = RoutingLayer(cluster=cluster, enabled=routing_enabled)
+    return AttentionEngine(
+        cluster=cluster,
+        compute=compute,
+        comm=comm,
+        routing=routing,
+        balanced_chunking=balanced,
+    )
+
+
+class TestCausalPairsBetween:
+    def test_full_visibility(self):
+        # Queries after the whole KV range see every key.
+        assert causal_pairs_between((10, 5), (0, 5)) == 25
+
+    def test_no_visibility(self):
+        # Queries entirely before the KV range see nothing.
+        assert causal_pairs_between((0, 5), (10, 5)) == 0
+
+    def test_diagonal_block(self):
+        # Same range: the usual lower-triangular count.
+        assert causal_pairs_between((0, 4), (0, 4)) == 4 * 5 / 2
+
+    def test_partial_overlap(self):
+        # Queries 2..5 against keys 4..7: query 4 sees 1 key, query 5 sees 2.
+        assert causal_pairs_between((2, 4), (4, 4)) == 3
+
+    def test_zero_length_ranges(self):
+        assert causal_pairs_between((0, 0), (0, 5)) == 0
+        assert causal_pairs_between((0, 5), (3, 0)) == 0
+
+    def test_whole_sequence_sums_to_causal_total(self):
+        seq = 64
+        total = causal_pairs_between((0, seq), (0, seq))
+        assert total == seq * (seq + 1) / 2
+
+
+class TestQueueConstruction:
+    def test_queues_split_by_zone(self, cluster_a2, mixed_batch):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        queues = engine.build_queues(partition)
+        zones_in_partition = {p.zone for ps in partition.placements.values() for p in ps}
+        if Zone.LOCAL in zones_in_partition:
+            assert queues.local
+        assert len(queues.all_rings()) == len(partition.rings)
+
+    def test_ring_group_work_conserves_causal_pairs(self, cluster_a2, mixed_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        queues = engine.build_queues(partition)
+        for group in queues.all_rings():
+            seq_len = group.spec.seq_len
+            total_pairs = sum(
+                group.round_pairs(i, r)
+                for i in range(group.group_size)
+                for r in range(group.group_size)
+            )
+            assert total_pairs == pytest.approx(seq_len * (seq_len + 1) / 2)
+
+
+class TestEmission:
+    def test_plan_contains_all_task_kinds(self, cluster_a2, mixed_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        plan = ExecutionPlan(name="test")
+        engine.emit_attention(plan, partition, spec_7b)
+        kinds = {t.kind for t in plan.tasks}
+        assert TaskKind.ATTENTION in kinds
+        assert TaskKind.INTRA_COMM in kinds or TaskKind.INTER_COMM in kinds
+
+    def test_routed_plan_has_dispatch_and_combine(self, cluster_a2, spec_7b):
+        # A single cluster-spanning sequence forces inter-node hops.
+        batch = Batch.from_lengths([16 * 4096])
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(batch)
+        engine = make_engine(cluster_a2, routing_enabled=True)
+        plan = ExecutionPlan(name="routed")
+        engine.emit_attention(plan, partition, spec_7b)
+        kinds = {t.kind for t in plan.tasks}
+        assert TaskKind.DISPATCH in kinds
+        assert TaskKind.COMBINE in kinds
+
+    def test_unrouted_plan_has_no_dispatch(self, cluster_a2, spec_7b):
+        batch = Batch.from_lengths([16 * 4096])
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(batch)
+        engine = make_engine(cluster_a2, routing_enabled=False)
+        plan = ExecutionPlan(name="direct")
+        engine.emit_attention(plan, partition, spec_7b)
+        kinds = {t.kind for t in plan.tasks}
+        assert TaskKind.DISPATCH not in kinds
+
+    def test_routing_reduces_simulated_makespan(self, cluster_a2, spec_7b):
+        batch = Batch.from_lengths([16 * 4096])
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(batch)
+        sim = Simulator(record_trace=False)
+
+        def makespan(routed):
+            engine = make_engine(cluster_a2, routing_enabled=routed)
+            plan = ExecutionPlan(name=f"routing={routed}")
+            engine.emit_attention(plan, partition, spec_7b)
+            return sim.run(plan).makespan_s
+
+        assert makespan(True) < makespan(False)
+
+    def test_local_only_batch_emits_no_communication(self, cluster_a2, short_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            short_batch
+        )
+        engine = make_engine(cluster_a2)
+        plan = ExecutionPlan(name="local")
+        engine.emit_attention(plan, partition, spec_7b)
+        comm_time = sum(
+            t.duration_s for t in plan.tasks if t.kind.is_communication
+        )
+        assert comm_time == 0.0
+
+    def test_backward_phase_is_heavier_than_forward(self, cluster_a2, mixed_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        fwd = ExecutionPlan(name="fwd")
+        bwd = ExecutionPlan(name="bwd")
+        engine.emit_attention(fwd, partition, spec_7b, phase="forward")
+        engine.emit_attention(bwd, partition, spec_7b, phase="backward")
+        fwd_total = sum(t.duration_s for t in fwd.tasks)
+        bwd_total = sum(t.duration_s for t in bwd.tasks)
+        assert bwd_total > fwd_total
+
+    def test_rank_tasks_attributed_to_placement_holders(self, cluster_a2, mixed_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        plan = ExecutionPlan(name="attr")
+        rank_tasks = engine.emit_attention(plan, partition, spec_7b)
+        for rank, task_ids in rank_tasks.items():
+            has_placement = bool(partition.placements.get(rank))
+            if task_ids:
+                assert has_placement
+
+    def test_invalid_phase_rejected(self, cluster_a2, mixed_batch, spec_7b):
+        partition = SequencePartitioner(cluster=cluster_a2, token_budget=4096).partition(
+            mixed_batch
+        )
+        engine = make_engine(cluster_a2)
+        with pytest.raises(ValueError):
+            engine.emit_attention(ExecutionPlan(), partition, spec_7b, phase="sideways")

@@ -1,0 +1,155 @@
+"""Tests for the hierarchical sequence partitioner (Alg. 1 + Alg. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import CapacityError, SequencePartitioner
+from repro.core.zones import Zone
+from repro.data.sampler import Batch
+
+
+def make_partitioner(cluster, budget=4096):
+    return SequencePartitioner(cluster=cluster, token_budget=budget)
+
+
+class TestInterNodePartitioning:
+    def test_short_sequences_stay_whole_on_nodes(self, cluster_a2, short_batch):
+        partitioner = make_partitioner(cluster_a2)
+        assignments, inter_nodes, s1 = partitioner.partition_inter_node(short_batch)
+        assert inter_nodes == {}
+        placed = sum(len(a.whole_sequences) for a in assignments)
+        assert placed == short_batch.num_sequences
+
+    def test_giant_sequence_spans_nodes(self, cluster_a2):
+        # One sequence equal to the whole cluster budget must span both nodes.
+        batch = Batch.from_lengths([2 * 8 * 4096])
+        partitioner = make_partitioner(cluster_a2)
+        assignments, inter_nodes, s1 = partitioner.partition_inter_node(batch)
+        assert list(inter_nodes.values())[0] == [0, 1]
+        for a in assignments:
+            assert a.inter_fragments, "each node should host a fragment"
+
+    def test_node_loads_are_balanced(self, cluster_a2, mixed_batch):
+        partitioner = make_partitioner(cluster_a2, budget=8192)
+        assignments, _, _ = partitioner.partition_inter_node(mixed_batch)
+        loads = [a.total_tokens for a in assignments]
+        assert max(loads) - min(loads) <= max(mixed_batch.lengths)
+
+    def test_over_capacity_batch_raises(self, cluster_a2):
+        too_big = Batch.from_lengths([8 * 4096] * 3)  # 3 node-budgets on 2 nodes
+        with pytest.raises(CapacityError):
+            make_partitioner(cluster_a2).partition_inter_node(too_big)
+
+    def test_threshold_never_exceeds_node_budget(self, cluster_a2, mixed_batch):
+        partitioner = make_partitioner(cluster_a2)
+        _, _, s1 = partitioner.partition_inter_node(mixed_batch)
+        assert s1 <= 8 * 4096
+
+
+class TestFullPartition:
+    def test_every_token_placed_exactly_once(self, cluster_a2, mixed_batch):
+        result = make_partitioner(cluster_a2).partition(mixed_batch)
+        assert result.total_tokens() == mixed_batch.total_tokens
+
+    def test_short_batch_is_all_local(self, cluster_a2, short_batch):
+        result = make_partitioner(cluster_a2).partition(short_batch)
+        assert not result.rings
+        for placement in result.placements_by_zone(Zone.LOCAL):
+            assert placement.ring_id is None
+
+    def test_long_sequences_get_rings(self, cluster_a2, mixed_batch):
+        result = make_partitioner(cluster_a2).partition(mixed_batch)
+        assert result.rings, "long sequences must be executed by ring groups"
+        ring_seqs = {r.seq_id for r in result.rings}
+        # The 40960-token sequence cannot fit a 4096-token device budget.
+        longest = max(mixed_batch, key=lambda s: s.length)
+        assert longest.seq_id in ring_seqs
+
+    def test_ring_members_hold_placements(self, cluster_a2, mixed_batch):
+        result = make_partitioner(cluster_a2).partition(mixed_batch)
+        for ring in result.rings:
+            holders = {
+                p.rank
+                for rank, ps in result.placements.items()
+                for p in ps
+                if p.seq_id == ring.seq_id
+            }
+            assert holders.issubset(set(ring.ranks))
+            assert len(holders) >= 2
+
+    def test_intra_ring_stays_within_one_node(self, cluster_a2, mixed_batch):
+        result = make_partitioner(cluster_a2).partition(mixed_batch)
+        for ring in result.rings_by_zone(Zone.INTRA_NODE):
+            nodes = {cluster_a2.gpu(r).node_id for r in ring.ranks}
+            assert len(nodes) == 1
+
+    def test_local_placements_fit_device_budget(self, cluster_a2, short_batch):
+        budget = 4096
+        result = make_partitioner(cluster_a2, budget).partition(short_batch)
+        for rank, placements in result.placements.items():
+            local_tokens = sum(p.tokens for p in placements if p.zone == Zone.LOCAL)
+            assert local_tokens <= budget
+
+    def test_single_node_cluster_never_creates_inter_rings(self, spec_7b):
+        from repro.cluster.presets import cluster_a
+
+        cluster = cluster_a(num_nodes=1)
+        batch = Batch.from_lengths([16384, 8192, 4096, 2048, 1024])
+        result = make_partitioner(cluster, budget=4096).partition(batch)
+        assert not result.rings_by_zone(Zone.INTER_NODE)
+        assert result.total_tokens() == batch.total_tokens
+
+    def test_quadratic_balance_better_than_token_balance_for_long_seqs(self, cluster_a2):
+        # One 30k sequence plus small ones: the 30k sequence must be spread so
+        # that no single device carries its whole quadratic cost.
+        batch = Batch.from_lengths([30720, 1024, 1024, 1024])
+        result = make_partitioner(cluster_a2).partition(batch)
+        per_rank_sq = {}
+        for rank, placements in result.placements.items():
+            per_rank_sq[rank] = sum(p.tokens**2 for p in placements)
+        heaviest = max(per_rank_sq.values())
+        assert heaviest < 30720**2 / 4, "quadratic load should be spread across devices"
+
+
+class TestPartitionerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=64, max_value=20000), min_size=1, max_size=20
+        ),
+        budget=st.sampled_from([2048, 4096, 8192]),
+    )
+    def test_property_token_conservation(self, tiny_cluster, lengths, budget):
+        total_capacity = tiny_cluster.world_size * budget
+        if sum(lengths) > total_capacity:
+            scale = total_capacity / sum(lengths)
+            lengths = [max(64, int(l * scale * 0.9)) for l in lengths]
+        batch = Batch.from_lengths(lengths)
+        result = SequencePartitioner(cluster=tiny_cluster, token_budget=budget).partition(batch)
+        assert result.total_tokens() == batch.total_tokens
+        # Every placement refers to a real sequence and a valid rank.
+        for rank, placements in result.placements.items():
+            for p in placements:
+                assert 0 <= p.rank < tiny_cluster.world_size
+                assert p.rank == rank
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=64, max_value=15000), min_size=2, max_size=15
+        )
+    )
+    def test_property_rings_are_valid(self, tiny_cluster, lengths):
+        budget = 4096
+        total_capacity = tiny_cluster.world_size * budget
+        if sum(lengths) > total_capacity:
+            scale = total_capacity / sum(lengths)
+            lengths = [max(64, int(l * scale * 0.9)) for l in lengths]
+        batch = Batch.from_lengths(lengths)
+        result = SequencePartitioner(cluster=tiny_cluster, token_budget=budget).partition(batch)
+        seq_lengths = {s.seq_id: s.length for s in batch}
+        for ring in result.rings:
+            assert len(set(ring.ranks)) == len(ring.ranks)
+            assert ring.seq_len == seq_lengths[ring.seq_id]
+            assert 2 <= ring.group_size <= tiny_cluster.world_size

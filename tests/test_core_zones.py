@@ -1,0 +1,73 @@
+"""Tests for the zone analysis (Fig. 5)."""
+
+import pytest
+
+from repro.core.zones import Zone, ZoneThresholds, classify_zones, zone_cost_curves
+
+
+class TestZoneThresholds:
+    def test_zone_classification(self):
+        t = ZoneThresholds(local_max=1024, intra_max=16384)
+        assert t.zone_of(512) == Zone.LOCAL
+        assert t.zone_of(1024) == Zone.INTRA_NODE
+        assert t.zone_of(8192) == Zone.INTRA_NODE
+        assert t.zone_of(65536) == Zone.INTER_NODE
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneThresholds(local_max=4096, intra_max=1024)
+        with pytest.raises(ValueError):
+            ZoneThresholds(local_max=0, intra_max=10)
+
+
+class TestClassifyZones:
+    def test_crossover_near_published_boundary(self, cluster_a2, spec_7b):
+        """The inter-node crossover for a 7B model on Cluster A lands near the
+        8-16k range Fig. 5 shows."""
+        thresholds = classify_zones(spec_7b, cluster_a2)
+        assert 4 * 1024 <= thresholds.intra_max <= 32 * 1024
+        assert thresholds.local_max <= 2 * 1024
+
+    def test_faster_gpus_push_boundaries_out(self, cluster_a2, cluster_b2, spec_7b):
+        """On Hopper-class GPUs compute takes longer to overtake comm, so the
+        inter-node zone starts later."""
+        a = classify_zones(spec_7b, cluster_a2)
+        b = classify_zones(spec_7b, cluster_b2)
+        assert b.intra_max >= a.intra_max
+
+    def test_higher_nic_bandwidth_shrinks_inter_zone_threshold(
+        self, cluster_b2, cluster_c2, spec_7b
+    ):
+        """Cluster C's 400 Gb/s NICs make inter-node transfers cheaper, so the
+        crossover where compute hides them happens earlier than on Cluster B
+        (same-speed GPUs, slower NICs)."""
+        b = classify_zones(spec_7b, cluster_b2)
+        c = classify_zones(spec_7b, cluster_c2)
+        assert c.intra_max <= b.intra_max
+
+    def test_ordering_invariant(self, tiny_cluster, spec_3b):
+        t = classify_zones(spec_3b, tiny_cluster)
+        assert t.local_max <= t.intra_max
+
+
+class TestZoneCostCurves:
+    def test_curve_shapes(self, cluster_a2, spec_7b):
+        lengths = [1024, 4096, 16384, 65536]
+        curves = zone_cost_curves(spec_7b, cluster_a2, lengths)
+        # Attention grows quadratically, communication linearly.
+        attn_ratio = curves.attention_compute_s[-1] / curves.attention_compute_s[0]
+        comm_ratio = curves.inter_node_comm_s[-1] / curves.inter_node_comm_s[0]
+        assert attn_ratio > 30 * 0.8  # ~(64)^2/64 adjusted for overhead
+        assert comm_ratio < 80
+        # Inter-node is slower than intra-node at every length.
+        for intra, inter in zip(curves.intra_node_comm_s, curves.inter_node_comm_s):
+            assert inter > intra
+
+    def test_64k_attention_matches_fig5_scale(self, cluster_a2, spec_7b):
+        curves = zone_cost_curves(spec_7b, cluster_a2, [65536])
+        # Fig. 5 shows ~200-240 ms on an A800.
+        assert 0.1 < curves.attention_compute_s[0] < 0.4
+
+    def test_invalid_length_rejected(self, cluster_a2, spec_7b):
+        with pytest.raises(ValueError):
+            zone_cost_curves(spec_7b, cluster_a2, [0])

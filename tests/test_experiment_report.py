@@ -1,0 +1,64 @@
+"""Tests for the aggregate experiment report and the ExperimentResult helper."""
+
+import json
+
+import pytest
+
+from repro.experiments import table2_dataset_distributions
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import _EXPERIMENTS, _jsonable, generate_report
+
+
+class TestExperimentResult:
+    def test_add_row_validates_arity(self):
+        result = ExperimentResult(name="x", description="d", headers=["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult(name="x", description="d", headers=["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            result.column("c")
+
+    def test_to_text_contains_title_and_rows(self):
+        result = ExperimentResult(name="figX", description="demo", headers=["a"])
+        result.add_row(42)
+        text = result.to_text()
+        assert "figX" in text and "42" in text
+
+
+class TestReport:
+    def test_jsonable_handles_tuple_keys_and_objects(self):
+        data = {("a", 1): {"nested": (1, 2.5, None)}, "obj": object()}
+        converted = _jsonable(data)
+        json.dumps(converted)  # must not raise
+        assert converted["('a', 1)"]["nested"] == [1, 2.5, None]
+
+    def test_registry_covers_every_paper_artifact(self):
+        assert set(_EXPERIMENTS) == {
+            "fig1", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "table2", "table3",
+        }
+
+    def test_generate_report_subset(self, tmp_path):
+        report = generate_report({"table2": table2_dataset_distributions.run})
+        entry = report["experiments"]["table2"]
+        assert entry["headers"][0] == "dataset"
+        assert entry["elapsed_s"] >= 0
+        json.dumps(entry["rows"])
+        json.dumps(entry["extra"])
+
+    def test_main_writes_json(self, tmp_path, monkeypatch):
+        from repro.experiments import report as report_module
+
+        monkeypatch.setattr(
+            report_module, "_EXPERIMENTS", {"table2": table2_dataset_distributions.run}
+        )
+        out = tmp_path / "report.json"
+        assert report_module.main([str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert "table2" in data

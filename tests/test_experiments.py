@@ -1,0 +1,176 @@
+"""Tests for the experiment modules (lightweight configurations).
+
+Every experiment is exercised with reduced parameters so the suite stays fast;
+the full-size sweeps live under ``benchmarks/``.  Assertions check the paper's
+qualitative claims, not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_length_distributions,
+    fig03_attention_cost_breakdown,
+    fig05_zone_boundaries,
+    fig08_end_to_end,
+    fig09_scalability,
+    fig10_cluster_comparison,
+    fig11_ablation,
+    fig12_timeline,
+    table2_dataset_distributions,
+    table3_cost_distribution,
+)
+from repro.experiments.fig08_end_to_end import Fig8Cell
+
+
+class TestFig1:
+    def test_sampler_matches_target_histograms(self):
+        result = fig01_length_distributions.run(samples_per_dataset=4000, seed=1)
+        for row in result.rows:
+            assert row[-1] < 0.05, f"{row[0]} sampled histogram deviates too much"
+
+    def test_stackexchange_is_short_dominated(self):
+        result = fig01_length_distributions.run(samples_per_dataset=1000)
+        target = result.extra["stackexchange"]["target"]
+        assert target[0] > 0.6
+
+
+class TestTable2:
+    def test_rows_match_registered_distributions(self):
+        result = table2_dataset_distributions.run()
+        assert {row[0] for row in result.rows} == {"arxiv", "github", "prolong64k"}
+        github = [row for row in result.rows if row[0] == "github"][0]
+        prolong = [row for row in result.rows if row[0] == "prolong64k"][0]
+        # GitHub has mass beyond 64k, ProLong64k is dominated by 32-64k docs.
+        assert github[-1] > 0.05
+        assert prolong[-1] > 0.5
+
+
+class TestFig3:
+    def test_short_sequences_dominated_by_overheads(self):
+        result = fig03_attention_cost_breakdown.run(datasets=("stackexchange",))
+        pack_rows = [r for r in result.rows if r[0] == "pack+ulysses" and r[2] == "<1k"]
+        cp_rows = [r for r in result.rows if r[0] == "even-split ring CP" and r[2] == "<1k"]
+        assert pack_rows and cp_rows
+        # For <1k sequences the packing scheme's redundant + comm share exceeds
+        # useful compute, and ring CP's comm share exceeds its compute share.
+        _, _, _, comp, comm, redundant = pack_rows[0]
+        assert comm + redundant > comp
+        _, _, _, comp_cp, comm_cp, _ = cp_rows[0]
+        assert comm_cp > comp_cp
+
+    def test_shares_sum_to_one_per_scheme_dataset(self):
+        result = fig03_attention_cost_breakdown.run(datasets=("arxiv",))
+        for scheme in ("pack+ulysses", "even-split ring CP"):
+            total = sum(
+                r[3] + r[4] + r[5] for r in result.rows if r[0] == scheme and r[1] == "arxiv"
+            )
+            assert total == pytest.approx(1.0, abs=0.02)
+
+
+class TestFig5:
+    def test_zone_boundaries_and_curves(self):
+        result = fig05_zone_boundaries.run()
+        thresholds = result.extra["thresholds"]
+        assert 4096 <= thresholds["intra_max"] <= 32768
+        # ProLong64k has more inter-node-zone mass than ArXiv.
+        shares = result.extra["dataset_zone_shares"]
+        assert shares["prolong64k"]["inter_node"] > shares["arxiv"]["inter_node"]
+
+    def test_attention_crosses_inter_node_comm(self):
+        result = fig05_zone_boundaries.run()
+        attn = result.column("attention_ms")
+        inter = result.column("inter_node_sendrecv_ms")
+        assert attn[0] < inter[0], "at 1k tokens communication dominates"
+        assert attn[-1] > inter[-1], "at 64k tokens compute dominates"
+
+
+class TestFig8:
+    def test_single_cell_speedup_ordering(self):
+        result = fig08_end_to_end.run(
+            full_grid=False,
+            datasets=("arxiv",),
+            num_steps=1,
+        )
+        for row in result.rows:
+            te, llama, hybrid, zeppelin = row[-4:]
+            assert te == pytest.approx(1.0)
+            assert zeppelin > 1.5
+            assert zeppelin >= llama and zeppelin >= hybrid
+
+    def test_custom_grid_row_count(self):
+        result = fig08_end_to_end.run(datasets=("arxiv", "github"), num_steps=1)
+        assert len(result.rows) == len(fig08_end_to_end.DEFAULT_GRID) * 2
+
+    def test_cell_dataclass_defaults(self):
+        cell = Fig8Cell("7b", 64, 16)
+        assert cell.cluster == "A" and cell.tensor_parallel == 1
+
+
+class TestFig9:
+    def test_zeppelin_scales_and_te_cp_stays_flat(self):
+        result = fig09_scalability.run(
+            gpu_counts=(16, 32), datasets=("arxiv",), num_steps=1
+        )
+        small = result.extra[("arxiv", 16)]
+        large = result.extra[("arxiv", 32)]
+        # TE CP gains little from doubling the cluster; Zeppelin speeds up.
+        assert large["te_cp"] < small["te_cp"] * 1.5
+        assert large["zeppelin"] > small["zeppelin"] * 1.2
+        assert large["zeppelin"] > large["te_cp"]
+
+
+class TestFig10:
+    def test_cluster_b_has_higher_absolute_but_lower_relative_speedup(self):
+        result = fig10_cluster_comparison.run(
+            datasets=("arxiv",), total_context=64 * 1024, num_gpus=16, num_steps=1
+        )
+        a = result.extra[("A", "arxiv")]
+        b = result.extra[("B", "arxiv")]
+        assert b["zeppelin"] > a["zeppelin"], "Hopper cluster is faster in absolute terms"
+        assert all(b[s] >= a[s] for s in ("te_cp", "zeppelin"))
+
+
+class TestFig11:
+    def test_every_component_contributes(self):
+        result = fig11_ablation.run(
+            datasets=("arxiv",), num_gpus=16, total_context=64 * 1024, num_steps=1
+        )
+        speedups = result.extra["arxiv"]
+        assert speedups["TE CP"] == pytest.approx(1.0)
+        assert speedups["w/ Routing"] > 1.1
+        assert speedups["w/ Attn Eng"] > 1.1
+        assert speedups["w/ Routing & Attn Eng"] >= max(
+            speedups["w/ Routing"], speedups["w/ Attn Eng"]
+        ) * 0.95
+        # Remapping is a small effect either way (the paper reports +0.13x on
+        # ArXiv); it must not regress the combined configuration materially.
+        assert speedups["w/ All"] >= speedups["w/ Routing & Attn Eng"] * 0.95
+
+
+class TestFig12:
+    def test_routing_cuts_per_round_inter_node_cost(self):
+        result = fig12_timeline.run()
+        te = result.extra["a) TE CP, single 64k sequence"]
+        zeppelin = result.extra["b) Zeppelin, single 64k sequence"]
+        many = result.extra["c) Zeppelin, 16 x 4k sequences"]
+        # Routing reduces the per-round inter-node transfer roughly by the NIC count.
+        assert zeppelin["per_round_inter_comm_s"] < te["per_round_inter_comm_s"] / 2
+        # With many short sequences, no inter-node communication remains.
+        assert many["summary"]["total_inter_comm_s"] == pytest.approx(0.0, abs=1e-9)
+        # And the layer completes faster than the TE CP baseline.
+        assert zeppelin["makespan_s"] < te["makespan_s"]
+        assert many["makespan_s"] < te["makespan_s"]
+
+
+class TestTable3:
+    def test_component_rows_and_skew_behaviour(self):
+        result = table3_cost_distribution.run(num_gpus=16, total_context=64 * 1024)
+        components = result.column("component")
+        assert "Forward Quadratic Attention" in components
+        assert "Backward" in components
+        balanced = result.extra["Balanced"]
+        skewed = result.extra["Skewed"]
+        # Attention dominates the skewed batch more than the balanced one.
+        assert skewed["Forward Quadratic Attention"][1] >= balanced["Forward Quadratic Attention"][1] * 0.9
+        # Backward is heavier than forward in both cases.
+        assert balanced["Backward"][1] > balanced["Forward"][0]

@@ -1,0 +1,110 @@
+"""Tests for the monolithic NumPy attention references."""
+
+import numpy as np
+import pytest
+
+from repro.refattn.attention import (
+    causal_attention,
+    causal_mask,
+    full_attention,
+    random_qkv,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 5, 7))
+        out = softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_invariant_to_constant_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_handles_large_values_without_overflow(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[0, 1] > out[0, 0]
+
+
+class TestFullAttention:
+    def test_output_shape(self):
+        q, k, v = random_qkv(12, heads=3, head_dim=5)
+        out = full_attention(q, k, v)
+        assert out.shape == (3, 12, 5)
+
+    def test_single_key_returns_its_value(self):
+        q = np.ones((1, 4, 2))
+        k = np.ones((1, 1, 2))
+        v = np.full((1, 1, 3), 7.0)
+        out = full_attention(q, k, v)
+        np.testing.assert_allclose(out, 7.0)
+
+    def test_uniform_scores_average_values(self):
+        q = np.zeros((1, 2, 4))
+        k, v = random_qkv(6, heads=1, head_dim=4)[1:]
+        out = full_attention(q, k, v)
+        np.testing.assert_allclose(out[0, 0], v[0].mean(axis=0), atol=1e-12)
+
+    def test_mask_rows_fully_masked_give_zero(self):
+        q, k, v = random_qkv(4, heads=2, head_dim=3)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1:, :] = np.tril(np.ones((3, 4), dtype=bool), k=0)
+        out = full_attention(q, k, v, mask=mask)
+        np.testing.assert_allclose(out[:, 0, :], 0.0)
+
+    def test_mask_shape_mismatch_raises(self):
+        q, k, v = random_qkv(4)
+        with pytest.raises(ValueError):
+            full_attention(q, k, v, mask=np.ones((3, 4), dtype=bool))
+
+    def test_head_mismatch_raises(self):
+        q, _, _ = random_qkv(4, heads=2)
+        _, k, v = random_qkv(4, heads=3)
+        with pytest.raises(ValueError):
+            full_attention(q, k, v)
+
+
+class TestCausalAttention:
+    def test_first_token_attends_only_to_itself(self):
+        q, k, v = random_qkv(8, heads=2, head_dim=4, seed=3)
+        out = causal_attention(q, k, v)
+        np.testing.assert_allclose(out[:, 0, :], v[:, 0, :], atol=1e-12)
+
+    def test_matches_full_attention_with_explicit_mask(self):
+        q, k, v = random_qkv(10, heads=2, head_dim=4, seed=5)
+        out = causal_attention(q, k, v)
+        expected = full_attention(q, k, v, mask=causal_mask(10))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_future_tokens_do_not_affect_output(self):
+        q, k, v = random_qkv(9, heads=1, head_dim=4, seed=7)
+        out_full = causal_attention(q, k, v)
+        # Perturb the last token's K/V: outputs of earlier positions must not change.
+        k2 = k.copy()
+        v2 = v.copy()
+        k2[:, -1] += 10.0
+        v2[:, -1] -= 5.0
+        out_perturbed = causal_attention(q, k2, v2)
+        np.testing.assert_allclose(out_full[:, :-1], out_perturbed[:, :-1], atol=1e-12)
+
+    def test_rejects_mismatched_lengths(self):
+        q, _, _ = random_qkv(4)
+        _, k, v = random_qkv(5)
+        with pytest.raises(ValueError):
+            causal_attention(q, k, v)
+
+
+class TestCausalMask:
+    def test_lower_triangular(self):
+        m = causal_mask(5)
+        assert m[0, 0] and not m[0, 1]
+        assert m[4].all()
+        assert np.array_equal(m, np.tril(np.ones((5, 5), dtype=bool)))
+
+    def test_offset_shifts_visibility(self):
+        m = causal_mask(4, offset=1)
+        assert m[0, 1] and not m[0, 2]

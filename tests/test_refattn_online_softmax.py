@@ -1,0 +1,86 @@
+"""Tests for blockwise (online-softmax) attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refattn.attention import causal_attention, full_attention, random_qkv
+from repro.refattn.online_softmax import OnlineSoftmaxState, blockwise_causal_attention
+
+
+class TestOnlineSoftmaxState:
+    def test_single_block_equals_full_attention(self):
+        q, k, v = random_qkv(8, heads=2, head_dim=4)
+        state = OnlineSoftmaxState(heads=2, q_len=8, head_dim_v=4)
+        state.update(q, k, v)
+        np.testing.assert_allclose(state.output(), full_attention(q, k, v), atol=1e-10)
+
+    def test_two_blocks_equal_one_block(self):
+        q, k, v = random_qkv(10, heads=1, head_dim=6, seed=2)
+        state = OnlineSoftmaxState(heads=1, q_len=10, head_dim_v=6)
+        state.update(q, k[:, :4], v[:, :4])
+        state.update(q, k[:, 4:], v[:, 4:])
+        np.testing.assert_allclose(state.output(), full_attention(q, k, v), atol=1e-10)
+
+    def test_block_order_does_not_matter(self):
+        q, k, v = random_qkv(12, heads=2, head_dim=4, seed=4)
+        a = OnlineSoftmaxState(heads=2, q_len=12, head_dim_v=4)
+        a.update(q, k[:, :5], v[:, :5])
+        a.update(q, k[:, 5:], v[:, 5:])
+        b = OnlineSoftmaxState(heads=2, q_len=12, head_dim_v=4)
+        b.update(q, k[:, 5:], v[:, 5:])
+        b.update(q, k[:, :5], v[:, :5])
+        np.testing.assert_allclose(a.output(), b.output(), atol=1e-10)
+
+    def test_no_updates_gives_zero_output(self):
+        state = OnlineSoftmaxState(heads=1, q_len=3, head_dim_v=2)
+        np.testing.assert_allclose(state.output(), 0.0)
+
+    def test_fully_masked_block_is_ignored(self):
+        q, k, v = random_qkv(5, heads=1, head_dim=3, seed=6)
+        state = OnlineSoftmaxState(heads=1, q_len=5, head_dim_v=3)
+        state.update(q, k, v)
+        reference = state.output().copy()
+        state.update(q, k, v, mask=np.zeros((5, 5), dtype=bool))
+        np.testing.assert_allclose(state.output(), reference, atol=1e-12)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            OnlineSoftmaxState(heads=0, q_len=1, head_dim_v=1)
+
+    def test_wrong_query_shape_raises(self):
+        state = OnlineSoftmaxState(heads=1, q_len=4, head_dim_v=2)
+        q, k, v = random_qkv(5, heads=1, head_dim=2)
+        with pytest.raises(ValueError):
+            state.update(q, k, v)
+
+
+class TestBlockwiseCausalAttention:
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 5, 16, 64])
+    def test_matches_causal_attention(self, block_size):
+        q, k, v = random_qkv(13, heads=2, head_dim=4, seed=11)
+        out = blockwise_causal_attention(q, k, v, block_size=block_size)
+        np.testing.assert_allclose(out, causal_attention(q, k, v), atol=1e-10)
+
+    def test_query_offset_selects_slice_of_full_result(self):
+        q, k, v = random_qkv(16, heads=2, head_dim=4, seed=13)
+        full = causal_attention(q, k, v)
+        out = blockwise_causal_attention(q[:, 6:10], k, v, block_size=4, query_offset=6)
+        np.testing.assert_allclose(out, full[:, 6:10], atol=1e-10)
+
+    def test_rejects_nonpositive_block_size(self):
+        q, k, v = random_qkv(4)
+        with pytest.raises(ValueError):
+            blockwise_causal_attention(q, k, v, block_size=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seq=st.integers(min_value=2, max_value=24),
+        block=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_blockwise_equals_monolithic(self, seq, block, seed):
+        q, k, v = random_qkv(seq, heads=1, head_dim=4, seed=seed)
+        out = blockwise_causal_attention(q, k, v, block_size=block)
+        np.testing.assert_allclose(out, causal_attention(q, k, v), atol=1e-8)

@@ -1,0 +1,93 @@
+"""Tests for the zigzag ring-attention numerical reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refattn.attention import causal_attention, random_qkv
+from repro.refattn.ring import (
+    ring_attention,
+    ring_rank_flops,
+    zigzag_chunk_slices,
+    zigzag_chunk_token_counts,
+)
+
+
+class TestZigzagChunkSlices:
+    def test_ownership_partitions_the_sequence(self):
+        slices = zigzag_chunk_slices(37, 4)
+        covered = []
+        for head, tail in slices:
+            covered.extend(range(head.start, head.stop))
+            covered.extend(range(tail.start, tail.stop))
+        assert sorted(covered) == list(range(37))
+
+    def test_rank_zero_gets_first_and_last_chunk(self):
+        slices = zigzag_chunk_slices(64, 4)
+        head, tail = slices[0]
+        assert head.start == 0
+        assert tail.stop == 64
+
+    def test_token_counts_are_balanced(self):
+        counts = zigzag_chunk_token_counts(1000, 8)
+        assert sum(counts) == 1000
+        assert max(counts) - min(counts) <= 2
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            zigzag_chunk_slices(0, 4)
+        with pytest.raises(ValueError):
+            zigzag_chunk_slices(10, 0)
+
+
+class TestRingAttention:
+    @pytest.mark.parametrize("group_size", [2, 3, 4, 8])
+    def test_combined_output_matches_causal_attention(self, group_size):
+        seq = 48
+        q, k, v = random_qkv(seq, heads=2, head_dim=4, seed=group_size)
+        result = ring_attention(q, k, v, group_size=group_size)
+        np.testing.assert_allclose(result.combined, causal_attention(q, k, v), atol=1e-9)
+
+    def test_number_of_rounds_equals_group_size(self):
+        q, k, v = random_qkv(32, heads=1, head_dim=4)
+        assert ring_attention(q, k, v, group_size=4).rounds == 4
+
+    def test_per_rank_outputs_cover_owned_chunks(self):
+        seq, group = 40, 4
+        q, k, v = random_qkv(seq, heads=1, head_dim=4, seed=9)
+        result = ring_attention(q, k, v, group_size=group)
+        full = causal_attention(q, k, v)
+        for rank, (head_sl, tail_sl) in enumerate(zigzag_chunk_slices(seq, group)):
+            head_out, tail_out = result.per_rank_outputs[rank]
+            np.testing.assert_allclose(head_out, full[:, head_sl], atol=1e-9)
+            np.testing.assert_allclose(tail_out, full[:, tail_sl], atol=1e-9)
+
+    def test_sequence_too_short_raises(self):
+        q, k, v = random_qkv(5, heads=1, head_dim=2)
+        with pytest.raises(ValueError):
+            ring_attention(q, k, v, group_size=4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        group=st.integers(min_value=2, max_value=5),
+        extra=st.integers(min_value=0, max_value=17),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_property_ring_equals_monolithic(self, group, extra, seed):
+        seq = 2 * group + extra
+        q, k, v = random_qkv(seq, heads=1, head_dim=3, seed=seed)
+        result = ring_attention(q, k, v, group_size=group)
+        np.testing.assert_allclose(result.combined, causal_attention(q, k, v), atol=1e-8)
+
+
+class TestRingRankFlops:
+    def test_zigzag_balances_causal_work(self):
+        flops = ring_rank_flops(4096, 8, hidden_size=1024)
+        assert max(flops) / min(flops) < 1.05
+
+    def test_total_work_matches_causal_total(self):
+        seq, hidden = 512, 64
+        flops = ring_rank_flops(seq, 4, hidden_size=hidden)
+        expected_pairs = seq * (seq + 1) / 2
+        np.testing.assert_allclose(sum(flops), 4.0 * expected_pairs * hidden)

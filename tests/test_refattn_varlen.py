@@ -1,0 +1,101 @@
+"""Tests for packed variable-length attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refattn.attention import random_qkv
+from repro.refattn.varlen import (
+    block_diagonal_causal_mask,
+    cross_sequence_flops_fraction,
+    per_sequence_attention,
+    varlen_attention,
+)
+
+
+class TestBlockDiagonalMask:
+    def test_blocks_are_causal_and_disjoint(self):
+        mask = block_diagonal_causal_mask([2, 3])
+        # First sequence occupies rows/cols 0-1.
+        assert mask[0, 0] and not mask[0, 1]
+        assert mask[1, 0] and mask[1, 1]
+        # No attention across the boundary.
+        assert not mask[2, 0] and not mask[2, 1]
+        assert not mask[0, 2]
+        # Second sequence causal within itself.
+        assert mask[4, 2] and mask[4, 3] and mask[4, 4]
+
+    def test_total_true_entries(self):
+        lengths = [3, 5, 2]
+        mask = block_diagonal_causal_mask(lengths)
+        expected = sum(l * (l + 1) // 2 for l in lengths)
+        assert int(mask.sum()) == expected
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            block_diagonal_causal_mask([])
+        with pytest.raises(ValueError):
+            block_diagonal_causal_mask([3, 0])
+
+
+class TestVarlenAttention:
+    def test_block_diagonal_matches_per_sequence(self):
+        lengths = [5, 7, 3]
+        q, k, v = random_qkv(sum(lengths), heads=2, head_dim=4, seed=1)
+        packed = varlen_attention(q, k, v, lengths, cross_sequence=False)
+        reference = per_sequence_attention(q, k, v, lengths)
+        np.testing.assert_allclose(packed, reference, atol=1e-10)
+
+    def test_cross_sequence_differs_from_per_sequence(self):
+        lengths = [4, 4]
+        q, k, v = random_qkv(8, heads=1, head_dim=4, seed=2)
+        naive = varlen_attention(q, k, v, lengths, cross_sequence=True)
+        correct = per_sequence_attention(q, k, v, lengths)
+        # The second sequence's outputs are polluted by the first sequence.
+        assert not np.allclose(naive[:, 4:], correct[:, 4:])
+        # The first sequence (earliest positions) is unaffected by packing.
+        np.testing.assert_allclose(naive[:, :4], correct[:, :4], atol=1e-10)
+
+    def test_single_sequence_cross_flag_is_irrelevant(self):
+        q, k, v = random_qkv(9, heads=1, head_dim=4, seed=3)
+        a = varlen_attention(q, k, v, [9], cross_sequence=True)
+        b = varlen_attention(q, k, v, [9], cross_sequence=False)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_length_mismatch_raises(self):
+        q, k, v = random_qkv(8)
+        with pytest.raises(ValueError):
+            varlen_attention(q, k, v, [3, 3])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    def test_property_block_diagonal_equals_per_sequence(self, lengths, seed):
+        q, k, v = random_qkv(sum(lengths), heads=1, head_dim=3, seed=seed)
+        packed = varlen_attention(q, k, v, lengths, cross_sequence=False)
+        reference = per_sequence_attention(q, k, v, lengths)
+        np.testing.assert_allclose(packed, reference, atol=1e-8)
+
+
+class TestCrossSequenceFraction:
+    def test_zero_for_single_sequence(self):
+        assert cross_sequence_flops_fraction([100]) == 0.0
+
+    def test_grows_with_more_short_sequences(self):
+        few = cross_sequence_flops_fraction([512, 512])
+        many = cross_sequence_flops_fraction([64] * 16)
+        assert many > few > 0.0
+
+    def test_matches_mask_cardinality(self):
+        lengths = [3, 5, 2]
+        total = sum(lengths)
+        naive = total * (total + 1) / 2
+        useful = sum(l * (l + 1) / 2 for l in lengths)
+        expected = 1.0 - useful / naive
+        assert cross_sequence_flops_fraction(lengths) == pytest.approx(expected)
+
+    def test_empty_lengths(self):
+        assert cross_sequence_flops_fraction([]) == 0.0

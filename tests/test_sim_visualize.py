@@ -1,0 +1,68 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.core.plan import ExecutionPlan, TaskKind
+from repro.core.zeppelin import ZeppelinStrategy
+from repro.data.datasets import single_sequence_batch
+from repro.sim.engine import simulate
+from repro.sim.trace import Trace
+from repro.sim.visualize import kind_legend, render_timeline, timeline_summary_lines
+
+
+def simulated_trace():
+    plan = ExecutionPlan()
+    a = plan.add("attn", TaskKind.ATTENTION, 2e-3, ("compute:0",), rank=0)
+    plan.add("xfer", TaskKind.INTER_COMM, 1e-3, ("nic:0:tx",), deps=[a], rank=0)
+    plan.add("attn1", TaskKind.ATTENTION, 3e-3, ("compute:1",), rank=1)
+    return simulate(plan).trace
+
+
+class TestRenderTimeline:
+    def test_renders_one_line_per_rank_plus_header(self):
+        text = render_timeline(simulated_trace(), width=50)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert lines[1].startswith("rank   0")
+        assert len(lines[1].split("|")[1]) == 50
+
+    def test_compute_and_comm_characters_present(self):
+        text = render_timeline(simulated_trace(), width=60)
+        assert "A" in text
+        assert "x" in text
+
+    def test_empty_trace(self):
+        assert render_timeline(Trace()) == "(empty trace)"
+
+    def test_subset_of_ranks(self):
+        text = render_timeline(simulated_trace(), ranks=[1], width=40)
+        assert "rank   1" in text and "rank   0" not in text
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(simulated_trace(), width=0)
+
+    def test_legend_mentions_every_kind(self):
+        legend = kind_legend()
+        for kind in TaskKind:
+            assert kind.value in legend
+
+    def test_real_strategy_trace_renders(self, context_3b_16):
+        strategy = ZeppelinStrategy(context_3b_16)
+        plan = strategy.plan_layer(single_sequence_batch(32768))
+        trace = simulate(plan).trace
+        text = render_timeline(trace, ranks=[0, 1, 2, 3], width=80)
+        assert text.count("\n") == 4
+
+
+class TestTimelineSummary:
+    def test_one_line_per_rank_with_times(self):
+        lines = timeline_summary_lines(simulated_trace())
+        assert len(lines) == 2
+        assert "compute" in lines[0] and "exposed" in lines[0]
+
+    def test_exposed_comm_reported(self):
+        trace = simulated_trace()
+        lines = timeline_summary_lines(trace, ranks=[0])
+        # The transfer runs after compute finished, so it is fully exposed (1 ms).
+        assert "1.00 ms exposed" in lines[0]

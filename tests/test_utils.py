@@ -1,0 +1,53 @@
+"""Tests for validation helpers and table rendering."""
+
+import pytest
+
+from repro.utils.tables import render_table
+from repro.utils.validation import check_fraction, check_in, check_non_negative, check_positive
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 3) == 3
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.5) == 0.5
+        assert check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.5)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            check_in("mode", "c", ("a", "b"))
+
+    def test_error_messages_name_the_argument(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            check_positive("bandwidth", -1)
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        text = render_table(["a", "b"], [[1, 2], [3, 40000]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "40,000" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.12345], [123.456], [12345.6]])
+        assert "0.123" in text
+        assert "123.5" in text
