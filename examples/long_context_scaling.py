@@ -14,31 +14,25 @@ Run with::
 
 from __future__ import annotations
 
-from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.api import DEFAULT_COMPARISON, Session
 from repro.utils.tables import render_table
 
 GPU_COUNTS = (16, 32, 64)
-STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+STRATEGIES = DEFAULT_COMPARISON
 TOKENS_PER_GPU = 4096
 
 
 def main() -> None:
     rows = []
     zeppelin_by_scale = {}
+    base = Session(
+        model="3b", cluster_preset="A", dataset="prolong64k", num_steps=2, seed=1
+    )
     for gpus in GPU_COUNTS:
-        config = TrainingRunConfig(
-            model="3b",
-            cluster_preset="A",
-            num_gpus=gpus,
-            dataset="prolong64k",
-            total_context=TOKENS_PER_GPU * gpus,
-            num_steps=2,
-            seed=1,
-        )
-        run = TrainingRun(config)
+        session = base.derive(num_gpus=gpus, total_context=TOKENS_PER_GPU * gpus)
         throughputs = {}
         for name in STRATEGIES:
-            throughputs[name] = run.run_strategy(name).tokens_per_second
+            throughputs[name] = session.run(name).tokens_per_second
         zeppelin_by_scale[gpus] = throughputs["zeppelin"]
         rows.append(
             [

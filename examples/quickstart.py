@@ -4,7 +4,8 @@
 Builds the paper's smallest evaluation cell — a LLaMA-7B model on 16 A800 GPUs
 (2 nodes of Cluster A) with a 64k-token context sampled from the ArXiv length
 distribution — and reports the training throughput of TE CP, LLaMA CP,
-Hybrid DP and Zeppelin on identical batches.
+Hybrid DP and Zeppelin on identical batches, using the ``repro.api.Session``
+facade and its structured :class:`~repro.results.CompareResult`.
 
 Run with::
 
@@ -13,13 +14,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro.training.runner import TrainingRun, TrainingRunConfig
-from repro.training.throughput import speedup_table
+from repro.api import DEFAULT_COMPARISON, Session
 from repro.utils.tables import render_table
 
 
 def main() -> None:
-    config = TrainingRunConfig(
+    session = Session(
         model="7b",
         cluster_preset="A",
         num_gpus=16,
@@ -28,28 +28,29 @@ def main() -> None:
         num_steps=3,
         seed=0,
     )
-    run = TrainingRun(config)
-    print(run.cluster.describe())
+    config = session.config
+    print(session.cluster.describe())
     print(
-        f"model: {run.spec.name} ({run.spec.num_parameters / 1e9:.1f}B params), "
+        f"model: {session.spec.name} ({session.spec.num_parameters / 1e9:.1f}B params), "
         f"dataset: {config.dataset}, context: {config.total_context // 1024}k tokens, "
         f"{config.num_steps} steps"
     )
     print()
 
-    reports = run.compare(("te_cp", "llama_cp", "hybrid_dp", "zeppelin"))
+    result = session.compare(DEFAULT_COMPARISON)
     rows = [
         [r["strategy"], round(r["tokens_per_second"]), f"{r['speedup']:.2f}x"]
-        for r in speedup_table(reports)
+        for r in result.rows()
     ]
     print(render_table(["strategy", "tokens/second", "speedup vs TE CP"], rows))
     print()
-    zeppelin = reports[-1]
-    baseline = reports[0]
     print(
-        f"Zeppelin processes {zeppelin.tokens_per_second / baseline.tokens_per_second:.2f}x "
-        f"more tokens per second than the TE CP baseline on this configuration."
+        f"Zeppelin processes {result.speedup('zeppelin'):.2f}x more tokens per "
+        f"second than the TE CP baseline on this configuration."
     )
+    print()
+    print("The same comparison as machine-readable JSON (CompareResult.to_json):")
+    print(result.to_json(indent=2))
 
 
 if __name__ == "__main__":

@@ -13,12 +13,12 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.core.plan import TaskKind
 from repro.data.datasets import single_sequence_batch
 from repro.sim.engine import Simulator
 from repro.sim.trace import summarize_trace
 from repro.sim.visualize import render_timeline
-from repro.training.runner import TrainingRun, TrainingRunConfig
 
 
 def print_rank_timeline(trace, rank: int, max_spans: int = 12) -> None:
@@ -35,7 +35,7 @@ def print_rank_timeline(trace, rank: int, max_spans: int = 12) -> None:
 
 
 def main() -> None:
-    config = TrainingRunConfig(
+    session = Session(
         model="3b",
         cluster_preset="A",
         num_gpus=16,
@@ -43,12 +43,11 @@ def main() -> None:
         total_context=64 * 1024,
         num_steps=1,
     )
-    run = TrainingRun(config)
     batch = single_sequence_batch(64 * 1024)
     simulator = Simulator(record_trace=True)
 
     for name in ("te_cp", "zeppelin"):
-        strategy = run.strategy(name)
+        strategy = session.strategy(name)
         plan = strategy.plan_layer(batch, phase="forward")
         result = simulator.run(plan)
         summary = summarize_trace(result.trace)
@@ -61,7 +60,7 @@ def main() -> None:
         )
         exposed = [
             result.trace.communication_exposed_s(r)
-            for r in range(run.cluster.world_size)
+            for r in range(session.cluster.world_size)
         ]
         print(f"  worst exposed (unhidden) communication on a rank: {max(exposed) * 1000:.2f} ms")
         inter_spans = [

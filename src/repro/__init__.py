@@ -10,28 +10,56 @@ Variable-length Workloads in Data Parallel Large Model Training* (EUROSYS
 * the substrates they run on: a cluster topology model, analytical cost
   models, synthetic variable-length workloads, a NumPy reference attention
   stack and a discrete-event simulator,
-* a training runner reporting tokens/second (:mod:`repro.training`), and
+* a registry-driven planning API (:mod:`repro.api`, :mod:`repro.registry`)
+  with structured results (:mod:`repro.results`), and
 * one experiment module per paper figure/table (:mod:`repro.experiments`).
 
 Quickstart::
 
-    from repro.training.runner import TrainingRun, TrainingRunConfig
+    from repro.api import Session
 
-    run = TrainingRun(TrainingRunConfig(model="7b", num_gpus=16, dataset="arxiv"))
-    for report in run.compare():
-        print(report.strategy, round(report.tokens_per_second))
+    session = Session(model="7b", num_gpus=16, dataset="arxiv")
+    result = session.compare(("te_cp", "llama_cp", "hybrid_dp", "zeppelin"))
+    for row in result.rows():
+        print(row["strategy"], round(row["tokens_per_second"]), f"{row['speedup']:.2f}x")
+    print(result.to_json(indent=2))  # machine-readable form
+
+Sessions cache sampled batches and per-(strategy, batch, phase) execution
+plans, so repeated comparisons, ablations and :meth:`Session.sweep` grids
+reuse plans instead of replanning.  New strategies plug in through the
+registry — no core file changes needed::
+
+    from repro import Strategy, register_strategy
+
+    @register_strategy("my_strategy", description="what it does")
+    class MyStrategy(Strategy):
+        def plan_layer(self, batch, phase="forward"):
+            ...
+
+    Session(model="7b").run("my_strategy")
 """
 
+from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
 from repro.cluster.presets import cluster_a, cluster_b, cluster_c, make_cluster
 from repro.core.strategy import Strategy, StrategyContext
 from repro.core.zeppelin import ZeppelinStrategy
 from repro.data.sampler import Batch, Sequence
 from repro.model.spec import get_model
+from repro.registry import (
+    available_experiments,
+    available_strategies,
+    register_experiment,
+    register_strategy,
+)
+from repro.results import CompareResult, RunResult
 from repro.training.runner import TrainingRun, TrainingRunConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DEFAULT_COMPARISON",
+    "Session",
+    "SessionConfig",
     "cluster_a",
     "cluster_b",
     "cluster_c",
@@ -42,6 +70,12 @@ __all__ = [
     "Batch",
     "Sequence",
     "get_model",
+    "available_experiments",
+    "available_strategies",
+    "register_experiment",
+    "register_strategy",
+    "CompareResult",
+    "RunResult",
     "TrainingRun",
     "TrainingRunConfig",
     "__version__",

@@ -1,0 +1,350 @@
+"""Stable programmatic facade for the Zeppelin reproduction.
+
+:class:`Session` is the long-lived entry point: it builds the cluster, model
+spec and :class:`~repro.core.strategy.StrategyContext` once, lazily samples
+and caches the evaluation batches, and memoises every
+:class:`~repro.core.plan.ExecutionPlan` by (strategy configuration, batch,
+phase) so repeated comparisons, ablations and sweeps reuse plans instead of
+replanning.  Strategies are resolved through :mod:`repro.registry`, so
+anything registered with ``@register_strategy`` is immediately runnable here
+and visible to the CLI.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session(model="7b", num_gpus=16, dataset="arxiv")
+    result = session.compare(("te_cp", "llama_cp", "hybrid_dp", "zeppelin"))
+    print(result.to_json(indent=2))
+
+Sweeps fan one session out over the cartesian product of GPU counts, context
+lengths and datasets::
+
+    for cell in session.sweep(gpus=(16, 32), datasets=("arxiv", "github")):
+        print(cell.config["num_gpus"], cell.config["dataset"],
+              round(cell.speedup("zeppelin"), 2))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.cluster.presets import cluster_a, cluster_b, cluster_c
+from repro.cluster.topology import Cluster
+from repro.core.plan import ExecutionPlan
+from repro.core.strategy import Strategy, StrategyContext
+from repro.data.datasets import SyntheticDataset
+from repro.data.sampler import Batch
+from repro.model.spec import TransformerSpec, get_model
+from repro.registry import get_strategy
+from repro.results import CompareResult, RunResult
+from repro.utils.validation import check_positive
+
+# The paper's standard comparison order: TE CP is the speedup baseline.
+DEFAULT_COMPARISON = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """One evaluation configuration.
+
+    Attributes
+    ----------
+    model:
+        Model preset name or alias (``"7b"``, ``"llama-13b"``, ``"8x550m"``...).
+    cluster_preset:
+        ``"A"``, ``"B"`` or ``"C"`` (the paper's clusters).
+    num_gpus:
+        Total GPUs; must be a multiple of 8 (nodes are 8-GPU).
+    dataset:
+        Length-distribution name (``"arxiv"``, ``"github"``, ``"prolong64k"``).
+    total_context:
+        Total tokens per iteration (64k / 128k / 256k in the paper).
+    tensor_parallel:
+        Tensor-parallel degree (1 or 2 in the paper).
+    num_steps:
+        Number of batches to average throughput over.
+    seed:
+        Batch sampling seed.
+    """
+
+    model: str
+    cluster_preset: str = "A"
+    num_gpus: int = 16
+    dataset: str = "arxiv"
+    total_context: int = 64 * 1024
+    tensor_parallel: int = 1
+    num_steps: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_gpus", self.num_gpus)
+        check_positive("total_context", self.total_context)
+        check_positive("tensor_parallel", self.tensor_parallel)
+        check_positive("num_steps", self.num_steps)
+        if self.num_gpus % 8 != 0:
+            raise ValueError("num_gpus must be a multiple of 8 (8-GPU nodes)")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_gpus // 8
+
+    @property
+    def tokens_per_gpu(self) -> int:
+        return self.total_context // self.num_gpus
+
+    @property
+    def tokens_per_dp_rank(self) -> int:
+        """Per-logical-rank token budget (the paper's ``L``)."""
+        return self.total_context // (self.num_gpus // self.tensor_parallel)
+
+    def replace(self, **overrides: Any) -> "SessionConfig":
+        """A copy of this configuration with some fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def cache_key(self) -> tuple[Any, ...]:
+        """Hashable identity used for plan- and session-cache keys."""
+        return dataclasses.astuple(self)
+
+
+def build_cluster(config: SessionConfig) -> Cluster:
+    """Instantiate the cluster preset for a configuration."""
+    preset = config.cluster_preset.upper()
+    if preset == "A":
+        return cluster_a(num_nodes=config.num_nodes)
+    if preset == "B":
+        return cluster_b(num_nodes=config.num_nodes)
+    if preset == "C":
+        return cluster_c(num_nodes=config.num_nodes)
+    raise ValueError(f"unknown cluster preset {config.cluster_preset!r}")
+
+
+def _strategy_key(name: str, kwargs: Mapping[str, Any]) -> tuple[Any, ...]:
+    """Hashable identity of one strategy configuration."""
+    return (name.lower(), tuple(sorted((k, repr(v)) for k, v in kwargs.items())))
+
+
+def _batch_key(batch: Batch) -> tuple[Any, ...]:
+    """Hashable identity of a batch (plans depend only on the lengths)."""
+    return (batch.dataset, batch.lengths)
+
+
+class _CachedPlanStrategy:
+    """Proxy routing ``plan_layer`` through the session's plan cache.
+
+    Everything else (``name``, ``spec``, ``context``, ``describe()``...)
+    delegates to the wrapped strategy, so the proxy is a drop-in anywhere a
+    :class:`Strategy` is consumed.
+    """
+
+    def __init__(self, session: "Session", inner: Strategy, key: tuple[Any, ...]):
+        self._session = session
+        self._inner = inner
+        self._key = key
+
+    def plan_layer(self, batch: Batch, phase: str = "forward") -> ExecutionPlan:
+        return self._session._cached_plan(self._key, self._inner, batch, phase)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:
+        return f"<cached {self._inner!r}>"
+
+
+class Session:
+    """Long-lived planning session over one base configuration.
+
+    The session owns the expensive immutable pieces — cluster topology, model
+    spec, strategy context and sampled batches — plus two caches:
+
+    * a strategy cache keyed by (name, kwargs), and
+    * a plan cache keyed by (strategy configuration, batch, phase), so any
+      path that replans an already-seen combination (repeated ``run()`` /
+      ``compare()`` calls, ablation grids, sweeps) gets the identical
+      :class:`ExecutionPlan` object back instead of replanning.
+
+    Derived sessions created by :meth:`derive`/:meth:`sweep` are themselves
+    cached by configuration, so re-running a sweep is nearly free.
+    """
+
+    def __init__(self, config: SessionConfig | None = None, /, **overrides: Any):
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.cluster = build_cluster(config)
+        self.spec: TransformerSpec = get_model(config.model)
+        self.context = StrategyContext(
+            cluster=self.cluster,
+            spec=self.spec,
+            token_budget=config.tokens_per_dp_rank,
+            tensor_parallel=config.tensor_parallel,
+        )
+        self._batches: list[Batch] | None = None
+        self._strategies: dict[tuple[Any, ...], _CachedPlanStrategy] = {}
+        self._plans: dict[tuple[Any, ...], ExecutionPlan] = {}
+        self._children: dict[tuple[Any, ...], "Session"] = {}
+
+    # -- cached building blocks -------------------------------------------------
+
+    @property
+    def batches(self) -> list[Batch]:
+        """The sampled evaluation batches (sampled once, then reused)."""
+        if self._batches is None:
+            dataset = SyntheticDataset(
+                name=self.config.dataset,
+                total_context=self.config.total_context,
+                seed=self.config.seed,
+            )
+            self._batches = dataset.batches(self.config.num_steps)
+        return self._batches
+
+    def strategy(self, name: str, **kwargs: Any) -> Strategy:
+        """Build (or fetch) a strategy bound to this session's context.
+
+        The returned object is a caching proxy: its ``plan_layer`` consults
+        the session plan cache before planning.
+        """
+        key = _strategy_key(name, kwargs)
+        if key not in self._strategies:
+            entry = get_strategy(name)
+            inner = entry.obj(self.context, **kwargs)
+            self._strategies[key] = _CachedPlanStrategy(self, inner, key)
+        return self._strategies[key]
+
+    def _cached_plan(
+        self,
+        strategy_key: tuple[Any, ...],
+        inner: Strategy,
+        batch: Batch,
+        phase: str,
+    ) -> ExecutionPlan:
+        key = (strategy_key, _batch_key(batch), phase)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = inner.plan_layer(batch, phase=phase)
+            self._plans[key] = plan
+        return plan
+
+    @property
+    def plan_cache_size(self) -> int:
+        """Number of cached execution plans (diagnostic)."""
+        return len(self._plans)
+
+    # -- planning and measurement -----------------------------------------------
+
+    def plan(
+        self,
+        strategy: str,
+        batch: Batch | None = None,
+        phase: str = "forward",
+        **kwargs: Any,
+    ) -> ExecutionPlan:
+        """The (cached) one-layer plan of ``strategy`` for ``batch``.
+
+        ``batch`` defaults to the first sampled batch of the session.
+        Repeated calls with an equivalent (strategy, batch, phase) return the
+        identical :class:`ExecutionPlan` object.
+        """
+        if batch is None:
+            batch = self.batches[0]
+        proxy = self.strategy(strategy, **kwargs)
+        return proxy.plan_layer(batch, phase=phase)
+
+    def run(self, strategy: str, *, label: str | None = None, **kwargs: Any) -> RunResult:
+        """Measure one strategy's throughput over the session batches."""
+        from repro.training.throughput import measure_throughput
+
+        proxy = self.strategy(strategy, **kwargs)
+        report = measure_throughput(proxy, self.batches)
+        return RunResult(
+            strategy=strategy.lower(),
+            label=label if label is not None else report.strategy,
+            tokens_per_second=report.tokens_per_second,
+            iteration_time_s=report.iteration_time_s,
+            total_tokens=report.total_tokens,
+            num_batches=report.num_batches,
+            config=self.config.to_dict(),
+        )
+
+    def compare(
+        self,
+        strategies: Sequence[str] = DEFAULT_COMPARISON,
+        baseline: str | None = None,
+    ) -> CompareResult:
+        """Measure several strategies on identical batches.
+
+        The speedup baseline defaults to the first strategy (the paper
+        normalises against TE CP, which comparisons list first).
+        """
+        if not strategies:
+            raise ValueError("need at least one strategy to compare")
+        runs = tuple(self.run(name) for name in strategies)
+        return CompareResult(
+            runs=runs,
+            baseline=(baseline or strategies[0]).lower(),
+            config=self.config.to_dict(),
+        )
+
+    # -- derived sessions and sweeps --------------------------------------------
+
+    def derive(self, **overrides: Any) -> "Session":
+        """A session for a modified configuration, cached by configuration.
+
+        Sessions derived twice with the same overrides are the same object,
+        so their batch and plan caches are reused across sweep repetitions.
+        """
+        config = self.config.replace(**overrides)
+        if config == self.config:
+            return self
+        # Make this session reachable from its descendants before branching.
+        self._children.setdefault(self.config.cache_key(), self)
+        key = config.cache_key()
+        child = self._children.get(key)
+        if child is None:
+            child = Session(config)
+            child._children = self._children  # share the pool across the family
+            self._children[key] = child
+        return child
+
+    def sweep(
+        self,
+        *,
+        gpus: Sequence[int] | None = None,
+        contexts: Sequence[int] | None = None,
+        datasets: Sequence[str] | None = None,
+        strategies: Sequence[str] = DEFAULT_COMPARISON,
+        baseline: str | None = None,
+    ) -> tuple[CompareResult, ...]:
+        """Compare strategies over the cartesian product of sweep axes.
+
+        Any axis left as ``None`` stays at the session's configured value.
+        Returns one :class:`CompareResult` per cell, in ``gpus`` x
+        ``contexts`` x ``datasets`` order; each cell's configuration is in
+        ``cell.config``.
+        """
+        gpu_axis = tuple(gpus) if gpus is not None else (self.config.num_gpus,)
+        context_axis = (
+            tuple(contexts) if contexts is not None else (self.config.total_context,)
+        )
+        dataset_axis = (
+            tuple(datasets) if datasets is not None else (self.config.dataset,)
+        )
+        cells = []
+        for num_gpus in gpu_axis:
+            for total_context in context_axis:
+                for dataset in dataset_axis:
+                    child = self.derive(
+                        num_gpus=num_gpus,
+                        total_context=total_context,
+                        dataset=dataset,
+                    )
+                    cells.append(child.compare(strategies, baseline=baseline))
+        return tuple(cells)

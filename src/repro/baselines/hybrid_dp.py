@@ -36,6 +36,7 @@ from repro.core.zones import Zone
 from repro.data.sampler import Batch, Sequence
 from repro.model.flops import attention_flops, linear_flops_per_token
 from repro.model.memory import token_capacity
+from repro.registry import register_strategy
 
 _LOCAL_PRIORITY = 2
 
@@ -104,6 +105,10 @@ class HybridAssignment:
         return totals
 
 
+@register_strategy(
+    "hybrid_dp",
+    description="FLOP-balanced hybrid of plain DP (short) and ring CP (long sequences)",
+)
 class HybridDPStrategy(Strategy):
     """ByteScale-style hybrid of plain DP (short) and ring CP (long sequences)."""
 

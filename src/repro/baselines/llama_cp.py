@@ -19,11 +19,16 @@ from repro.core.chunking import zigzag_assignment
 from repro.core.plan import ExecutionPlan, TaskKind
 from repro.core.strategy import Strategy, StrategyContext
 from repro.data.sampler import Batch
+from repro.registry import register_strategy
 
 _ALLGATHER_PRIORITY = 0
 _ATTENTION_PRIORITY = 1
 
 
+@register_strategy(
+    "llama_cp",
+    description="All-gather KV across the CP group, then local attention (LLaMA 3 style)",
+)
 class LlamaCPStrategy(Strategy):
     """All-gather KV then local attention (LLaMA 3 / WLB-LLM style CP)."""
 

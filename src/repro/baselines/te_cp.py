@@ -25,6 +25,7 @@ from repro.core.routing import RoutingLayer
 from repro.core.strategy import Strategy, StrategyContext
 from repro.core.zones import Zone
 from repro.data.sampler import Batch
+from repro.registry import register_strategy
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,10 @@ class BatchRingGroup:
         return sum(g.round_pairs(ring_index, round_index) for g in self.per_sequence)
 
 
+@register_strategy(
+    "te_cp",
+    description="Even sequence splitting with balanced ring attention (TransformerEngine CP)",
+)
 class TransformerEngineCPStrategy(Strategy):
     """Even sequence splitting over one global ring (Transformer Engine CP)."""
 

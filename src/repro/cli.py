@@ -1,19 +1,27 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Two subcommands:
+Three subcommands:
 
 * ``compare`` — run one evaluation cell (model, cluster, dataset, context,
   scale) and print the throughput of the selected strategies side by side::
 
       python -m repro compare --model 7b --dataset arxiv --gpus 16 --context-k 64
 
+  ``--json`` emits the structured :class:`~repro.results.CompareResult`
+  instead of the table.
+
 * ``experiment`` — regenerate one of the paper's tables/figures by name::
 
       python -m repro experiment fig11
-      python -m repro experiment table3
+      python -m repro experiment table3 --json
 
-The same functionality is available programmatically through
-:class:`repro.training.runner.TrainingRun` and :mod:`repro.experiments`.
+* ``list`` — show every registered model, dataset, strategy and experiment
+  (with descriptions), straight from the registries.
+
+Strategies and experiments are resolved through :mod:`repro.registry`;
+anything registered with ``@register_strategy`` / ``@register_experiment``
+shows up here without touching this module.  The same functionality is
+available programmatically through :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
@@ -23,23 +31,19 @@ import importlib
 import sys
 from typing import Sequence
 
-from repro.training.runner import STRATEGY_NAMES, TrainingRun, TrainingRunConfig
-from repro.training.throughput import speedup_table
+from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
+from repro.registry import (
+    RegistryError,
+    available_experiments,
+    available_strategies,
+    experiment_entries,
+    get_experiment,
+    strategy_entries,
+)
 from repro.utils.tables import render_table
 
-# Experiment name -> module (one per paper figure/table).
-EXPERIMENT_MODULES = {
-    "fig1": "repro.experiments.fig01_length_distributions",
-    "fig3": "repro.experiments.fig03_attention_cost_breakdown",
-    "fig5": "repro.experiments.fig05_zone_boundaries",
-    "fig8": "repro.experiments.fig08_end_to_end",
-    "fig9": "repro.experiments.fig09_scalability",
-    "fig10": "repro.experiments.fig10_cluster_comparison",
-    "fig11": "repro.experiments.fig11_ablation",
-    "fig12": "repro.experiments.fig12_timeline",
-    "table2": "repro.experiments.table2_dataset_distributions",
-    "table3": "repro.experiments.table3_cost_distribution",
-}
+# Exit code for configuration errors (bad GPU count, unknown model/dataset...).
+CONFIG_ERROR_EXIT_CODE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,39 +66,82 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--strategies",
         nargs="+",
-        default=["te_cp", "llama_cp", "hybrid_dp", "zeppelin"],
-        choices=list(STRATEGY_NAMES),
+        default=list(DEFAULT_COMPARISON),
+        choices=list(available_strategies()),
         help="strategies to compare (first is the speedup baseline)",
+    )
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        help="strategy to normalise speedups against (default: first listed)",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured CompareResult as JSON instead of a table",
     )
 
     experiment = sub.add_parser("experiment", help="regenerate one paper table/figure")
     experiment.add_argument(
-        "name", choices=sorted(EXPERIMENT_MODULES), help="experiment identifier"
+        "name", choices=list(available_experiments()), help="experiment identifier"
+    )
+    experiment.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured ExperimentResult as JSON instead of a table",
     )
 
-    list_cmd = sub.add_parser("list", help="list available models, datasets and experiments")
-    del list_cmd
+    sub.add_parser(
+        "list", help="list registered models, datasets, strategies and experiments"
+    )
     return parser
+
+
+def _config_error(exc: Exception) -> int:
+    """Print a one-line configuration error and return the error exit code."""
+    message = exc.args[0] if exc.args else str(exc)
+    print(f"error: {message}", file=sys.stderr)
+    return CONFIG_ERROR_EXIT_CODE
 
 
 def run_compare(args: argparse.Namespace) -> int:
     """Execute the ``compare`` subcommand."""
-    config = TrainingRunConfig(
-        model=args.model,
-        cluster_preset=args.cluster,
-        num_gpus=args.gpus,
-        dataset=args.dataset,
-        total_context=args.context_k * 1024,
-        tensor_parallel=args.tensor_parallel,
-        num_steps=args.steps,
-        seed=args.seed,
-    )
-    run = TrainingRun(config)
-    print(run.cluster.describe())
-    reports = [run.run_strategy(name) for name in args.strategies]
+    if args.baseline is not None and args.baseline.lower() not in [
+        s.lower() for s in args.strategies
+    ]:
+        return _config_error(
+            ValueError(
+                f"baseline {args.baseline!r} is not among the compared "
+                f"strategies: {args.strategies}"
+            )
+        )
+    # Only configuration validation runs inside the try: building the session
+    # and materialising the batches surface every bad-input error (GPU count,
+    # unknown model/cluster/dataset).  Bugs during the actual measurement
+    # should propagate as tracebacks, not masquerade as config errors.
+    try:
+        config = SessionConfig(
+            model=args.model,
+            cluster_preset=args.cluster,
+            num_gpus=args.gpus,
+            dataset=args.dataset,
+            total_context=args.context_k * 1024,
+            tensor_parallel=args.tensor_parallel,
+            num_steps=args.steps,
+            seed=args.seed,
+        )
+        session = Session(config)
+        session.batches
+    except (ValueError, KeyError) as exc:
+        return _config_error(exc)
+    result = session.compare(tuple(args.strategies), baseline=args.baseline)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(session.cluster.describe())
     rows = [
         [r["strategy"], round(r["tokens_per_second"]), f"{r['speedup']:.2f}x"]
-        for r in speedup_table(reports)
+        for r in result.rows()
     ]
     print(render_table(["strategy", "tokens/second", "speedup"], rows))
     return 0
@@ -102,20 +149,36 @@ def run_compare(args: argparse.Namespace) -> int:
 
 def run_experiment(args: argparse.Namespace) -> int:
     """Execute the ``experiment`` subcommand."""
-    module = importlib.import_module(EXPERIMENT_MODULES[args.name])
-    module.main()
+    entry = get_experiment(args.name)
+    if args.json:
+        print(entry.obj().to_json(indent=2))
+        return 0
+    # The table path runs the module's ``main()`` so experiments keep any
+    # auxiliary output they print beyond the result table (e.g. fig5's zone
+    # thresholds); modules without one fall back to printing the table.
+    module = importlib.import_module(entry.module)
+    main_fn = getattr(module, "main", None)
+    if main_fn is not None:
+        main_fn()
+    else:
+        print(entry.obj().to_text())
+        print()
     return 0
 
 
-def run_list() -> int:
+def run_list(args: argparse.Namespace) -> int:
     """Execute the ``list`` subcommand."""
     from repro.data.distributions import available_distributions
     from repro.model.spec import available_models
 
-    print("models:     ", ", ".join(available_models()))
-    print("datasets:   ", ", ".join(available_distributions()))
-    print("strategies: ", ", ".join(STRATEGY_NAMES))
-    print("experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
+    print("models:   ", ", ".join(available_models()))
+    print("datasets: ", ", ".join(available_distributions()))
+    print("strategies:")
+    for entry in strategy_entries():
+        print(f"  {entry.name:<12} {entry.description}")
+    print("experiments:")
+    for entry in experiment_entries():
+        print(f"  {entry.name:<12} {entry.description}")
     return 0
 
 
@@ -123,14 +186,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "compare":
-        return run_compare(args)
-    if args.command == "experiment":
-        return run_experiment(args)
-    if args.command == "list":
-        return run_list()
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    handlers = {
+        "compare": run_compare,
+        "experiment": run_experiment,
+        "list": run_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except RegistryError as exc:
+        return _config_error(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -24,8 +24,13 @@ from repro.core.remapping import RemappingLayer
 from repro.core.routing import RoutingLayer
 from repro.core.strategy import Strategy, StrategyContext
 from repro.data.sampler import Batch
+from repro.registry import register_strategy
 
 
+@register_strategy(
+    "zeppelin",
+    description="Hierarchical partitioning + attention engine + routing + remapping (full system)",
+)
 class ZeppelinStrategy(Strategy):
     """Zeppelin's hierarchical, routing- and remapping-aware scheduling."""
 

@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.utils.tables import render_table
+
+
+def jsonable(value: Any) -> Any:
+    """Convert experiment data (tuple keys, dataclasses) into JSON-safe form.
+
+    Dict keys are stringified recursively (``json.dumps`` rejects non-string
+    keys and its ``default`` hook never sees them); unknown leaf values fall
+    back to ``str``.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 @dataclass
@@ -50,6 +67,19 @@ class ExperimentResult:
         except ValueError:
             raise KeyError(f"no column named {header!r}") from None
         return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (non-string keys and exotic values stringified)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "headers": list(self.headers),
+            "rows": jsonable(self.rows),
+            "extra": jsonable(self.extra),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 def print_result(result: ExperimentResult) -> None:

@@ -20,6 +20,7 @@ from repro.costs.compute import ComputeCostModel
 from repro.data.distributions import FIG1_DISTRIBUTIONS, LengthDistribution
 from repro.experiments.common import ExperimentResult, print_result
 from repro.model.spec import get_model
+from repro.registry import register_experiment
 
 _TOTAL_CONTEXT = 64 * 1024
 _NUM_GPUS = 16
@@ -82,6 +83,9 @@ def _bin_costs_ring_cp(
     return out
 
 
+@register_experiment(
+    "fig3", description="Fig. 3 — packing vs even-split CP attention cost shares"
+)
 def run(datasets: tuple[str, ...] = ("arxiv", "github", "stackexchange", "prolong64")) -> ExperimentResult:
     """Regenerate the Fig. 3 normalised cost shares."""
     cluster = cluster_a(num_nodes=2)

@@ -14,10 +14,14 @@ from repro.core.zones import classify_zones, zone_cost_curves
 from repro.data.distributions import TABLE2_DISTRIBUTIONS
 from repro.experiments.common import ExperimentResult, print_result
 from repro.model.spec import get_model
+from repro.registry import register_experiment
 
 _LENGTHS = [1024 * (2**i) for i in range(0, 7)]  # 1k .. 64k
 
 
+@register_experiment(
+    "fig5", description="Fig. 5 — compute/communication cost curves and zone boundaries"
+)
 def run(model: str = "7b") -> ExperimentResult:
     """Regenerate the Fig. 5 cost curves and zone boundaries."""
     cluster = cluster_a(num_nodes=2)

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import DEFAULT_COMPARISON, Session
 from repro.experiments.common import ExperimentResult, print_result
-from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.registry import register_experiment
 
-_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+_STRATEGIES = DEFAULT_COMPARISON
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,9 @@ DEFAULT_GRID: tuple[Fig8Cell, ...] = (
 DATASETS = ("arxiv", "github", "prolong64k")
 
 
+@register_experiment(
+    "fig8", description="Fig. 8 — end-to-end throughput grid (models x datasets x scales)"
+)
 def run(
     full_grid: bool = False,
     datasets: tuple[str, ...] = DATASETS,
@@ -75,7 +79,7 @@ def run(
     )
     for cell in cells:
         for dataset in datasets:
-            config = TrainingRunConfig(
+            session = Session(
                 model=cell.model,
                 cluster_preset=cell.cluster,
                 num_gpus=cell.num_gpus,
@@ -85,20 +89,18 @@ def run(
                 num_steps=num_steps,
                 seed=seed,
             )
-            run_ = TrainingRun(config)
-            reports = [run_.run_strategy(s) for s in _STRATEGIES]
-            base = reports[0].tokens_per_second
+            comparison = session.compare(_STRATEGIES)
             result.add_row(
                 cell.model,
                 f"{cell.total_context_k}k",
                 cell.num_gpus,
                 cell.cluster,
                 dataset,
-                *[round(r.tokens_per_second) for r in reports],
-                *[round(r.tokens_per_second / base, 2) for r in reports],
+                *[round(r.tokens_per_second) for r in comparison],
+                *[round(comparison.speedup(s), 2) for s in _STRATEGIES],
             )
             result.extra[(cell.model, cell.total_context_k, dataset)] = {
-                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+                s: comparison.get(s).tokens_per_second for s in _STRATEGIES
             }
     return result
 

@@ -11,14 +11,18 @@ the three datasets.  The paper's observations this experiment checks:
 
 from __future__ import annotations
 
+from repro.api import DEFAULT_COMPARISON, Session
 from repro.experiments.common import ExperimentResult, print_result
-from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.registry import register_experiment
 
-_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+_STRATEGIES = DEFAULT_COMPARISON
 DEFAULT_GPU_COUNTS = (16, 32, 64)
 FULL_GPU_COUNTS = (16, 32, 64, 96, 128)
 
 
+@register_experiment(
+    "fig9", description="Fig. 9 — 3B scalability from 16 to 128 GPUs on Cluster A"
+)
 def run(
     gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
     datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
@@ -33,30 +37,26 @@ def run(
         description="Scalability of LLaMA 3B on Cluster A (4k tokens per GPU)",
         headers=headers,
     )
+    base_session = Session(
+        model="3b", cluster_preset="A", num_steps=num_steps, seed=seed
+    )
     for dataset in datasets:
         for gpus in gpu_counts:
             if gpus % 8 != 0:
                 raise ValueError("GPU counts must be multiples of 8")
             total_context = tokens_per_gpu * gpus
-            config = TrainingRunConfig(
-                model="3b",
-                cluster_preset="A",
-                num_gpus=gpus,
-                dataset=dataset,
-                total_context=total_context,
-                num_steps=num_steps,
-                seed=seed,
+            session = base_session.derive(
+                num_gpus=gpus, dataset=dataset, total_context=total_context
             )
-            run_ = TrainingRun(config)
-            reports = [run_.run_strategy(s) for s in _STRATEGIES]
+            comparison = session.compare(_STRATEGIES)
             result.add_row(
                 dataset,
                 gpus,
                 f"{total_context // 1024}k",
-                *[round(r.tokens_per_second) for r in reports],
+                *[round(r.tokens_per_second) for r in comparison],
             )
             result.extra[(dataset, gpus)] = {
-                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+                s: comparison.get(s).tokens_per_second for s in _STRATEGIES
             }
     return result
 

@@ -11,12 +11,16 @@ architectures.  The paper's observations this experiment checks:
 
 from __future__ import annotations
 
+from repro.api import DEFAULT_COMPARISON, Session
 from repro.experiments.common import ExperimentResult, print_result
-from repro.training.runner import TrainingRun, TrainingRunConfig
+from repro.registry import register_experiment
 
-_STRATEGIES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin")
+_STRATEGIES = DEFAULT_COMPARISON
 
 
+@register_experiment(
+    "fig10", description="Fig. 10 — Cluster A vs Cluster B speedup comparison"
+)
 def run(
     datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
     total_context: int = 128 * 1024,
@@ -35,7 +39,7 @@ def run(
     )
     for cluster in ("A", "B"):
         for dataset in datasets:
-            config = TrainingRunConfig(
+            session = Session(
                 model="3b",
                 cluster_preset=cluster,
                 num_gpus=num_gpus,
@@ -44,17 +48,15 @@ def run(
                 num_steps=num_steps,
                 seed=seed,
             )
-            run_ = TrainingRun(config)
-            reports = [run_.run_strategy(s) for s in _STRATEGIES]
-            base = reports[0].tokens_per_second
+            comparison = session.compare(_STRATEGIES)
             result.add_row(
                 cluster,
                 dataset,
-                *[round(r.tokens_per_second) for r in reports],
-                *[round(r.tokens_per_second / base, 2) for r in reports],
+                *[round(r.tokens_per_second) for r in comparison],
+                *[round(comparison.speedup(s), 2) for s in _STRATEGIES],
             )
             result.extra[(cluster, dataset)] = {
-                s: r.tokens_per_second for s, r in zip(_STRATEGIES, reports)
+                s: comparison.get(s).tokens_per_second for s in _STRATEGIES
             }
     return result
 

@@ -13,22 +13,23 @@ paper's bars:
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.experiments.common import ExperimentResult, print_result
-from repro.training.runner import TrainingRun, TrainingRunConfig
-from repro.training.throughput import measure_throughput
+from repro.registry import register_experiment
+
+# (label, strategy name, strategy kwargs), in the paper's bar order.
+_CONFIGURATIONS = (
+    ("TE CP", "te_cp", {}),
+    ("w/ Routing", "te_cp", {"use_routing": True}),
+    ("w/ Attn Eng", "zeppelin", {"use_routing": False, "use_remapping": False}),
+    ("w/ Routing & Attn Eng", "zeppelin", {"use_remapping": False}),
+    ("w/ All", "zeppelin", {}),
+)
 
 
-def _configurations(run_: TrainingRun):
-    """The five ablation configurations, in the paper's order."""
-    return (
-        ("TE CP", run_.strategy("te_cp")),
-        ("w/ Routing", run_.strategy("te_cp", use_routing=True)),
-        ("w/ Attn Eng", run_.strategy("zeppelin", use_routing=False, use_remapping=False)),
-        ("w/ Routing & Attn Eng", run_.strategy("zeppelin", use_remapping=False)),
-        ("w/ All", run_.strategy("zeppelin")),
-    )
-
-
+@register_experiment(
+    "fig11", description="Fig. 11 — component ablation (3B, 32 GPUs, Cluster A)"
+)
 def run(
     datasets: tuple[str, ...] = ("arxiv", "github", "prolong64k"),
     num_gpus: int = 32,
@@ -44,7 +45,7 @@ def run(
         headers=headers,
     )
     for dataset in datasets:
-        config = TrainingRunConfig(
+        session = Session(
             model="3b",
             cluster_preset="A",
             num_gpus=num_gpus,
@@ -53,17 +54,16 @@ def run(
             num_steps=num_steps,
             seed=seed,
         )
-        run_ = TrainingRun(config)
         base = None
         speedups = {}
-        for label, strategy in _configurations(run_):
-            report = measure_throughput(strategy, run_.batches)
+        for label, name, kwargs in _CONFIGURATIONS:
+            measured = session.run(name, label=label, **kwargs)
             if base is None:
-                base = report.tokens_per_second
-            speedup = report.tokens_per_second / base
+                base = measured.tokens_per_second
+            speedup = measured.tokens_per_second / base
             speedups[label] = speedup
             result.add_row(
-                dataset, label, round(report.tokens_per_second), round(speedup, 2)
+                dataset, label, round(measured.tokens_per_second), round(speedup, 2)
             )
         result.extra[dataset] = speedups
     return result

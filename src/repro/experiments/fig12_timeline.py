@@ -16,11 +16,12 @@ per-round communication costs and how much communication stays exposed
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.data.datasets import single_sequence_batch, uniform_batch
 from repro.experiments.common import ExperimentResult, print_result
+from repro.registry import register_experiment
 from repro.sim.engine import Simulator
 from repro.sim.trace import summarize_trace
-from repro.training.runner import TrainingRun, TrainingRunConfig
 
 
 def _trace_for(strategy, batch):
@@ -29,9 +30,12 @@ def _trace_for(strategy, batch):
     return sim.run(plan)
 
 
+@register_experiment(
+    "fig12", description="Fig. 12 — per-round attention timeline analysis"
+)
 def run(total_context: int = 64 * 1024, num_gpus: int = 16) -> ExperimentResult:
     """Regenerate the Fig. 12 timeline statistics."""
-    config = TrainingRunConfig(
+    session = Session(
         model="3b",
         cluster_preset="A",
         num_gpus=num_gpus,
@@ -39,14 +43,13 @@ def run(total_context: int = 64 * 1024, num_gpus: int = 16) -> ExperimentResult:
         total_context=total_context,
         num_steps=1,
     )
-    run_ = TrainingRun(config)
     single = single_sequence_batch(total_context)
     many = uniform_batch(num_gpus, total_context // num_gpus)
 
     scenarios = (
-        ("a) TE CP, single 64k sequence", run_.strategy("te_cp"), single),
-        ("b) Zeppelin, single 64k sequence", run_.strategy("zeppelin"), single),
-        ("c) Zeppelin, 16 x 4k sequences", run_.strategy("zeppelin"), many),
+        ("a) TE CP, single 64k sequence", session.strategy("te_cp"), single),
+        ("b) Zeppelin, single 64k sequence", session.strategy("zeppelin"), single),
+        ("c) Zeppelin, 16 x 4k sequences", session.strategy("zeppelin"), many),
     )
 
     headers = [

@@ -25,7 +25,7 @@ from repro.experiments import (
     table2_dataset_distributions,
     table3_cost_distribution,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, jsonable as _jsonable
 
 # Experiment id -> zero-argument callable producing an ExperimentResult.
 _EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
@@ -40,17 +40,6 @@ _EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig12": fig12_timeline.run,
     "table3": table3_cost_distribution.run,
 }
-
-
-def _jsonable(value: Any) -> Any:
-    """Convert experiment extras (tuple keys, dataclasses) into JSON-safe data."""
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
 
 
 def generate_report(experiments: dict[str, Callable[[], ExperimentResult]] | None = None) -> dict:

@@ -10,8 +10,12 @@ from __future__ import annotations
 
 from repro.data.distributions import TABLE2_DISTRIBUTIONS
 from repro.experiments.common import ExperimentResult, print_result
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "table2", description="Table 2 — evaluation dataset length distributions"
+)
 def run() -> ExperimentResult:
     """Regenerate Table 2 plus derived statistics."""
     bins = next(iter(TABLE2_DISTRIBUTIONS.values())).bins

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import time
 
+from repro.api import Session
 from repro.core.plan import TaskKind
 from repro.data.datasets import balanced_case_study_batch, skewed_case_study_batch
 from repro.experiments.common import ExperimentResult, print_result
+from repro.registry import register_experiment
 from repro.sim.engine import Simulator
-from repro.training.runner import TrainingRun, TrainingRunConfig
 
 
 def _component_ranges(strategy, batch, num_layers: int) -> dict[str, tuple[float, float]]:
@@ -55,9 +56,12 @@ def _component_ranges(strategy, batch, num_layers: int) -> dict[str, tuple[float
     }
 
 
+@register_experiment(
+    "table3", description="Table 3 — per-component cost ranges across ranks"
+)
 def run(num_gpus: int = 32, total_context: int = 128 * 1024, seed: int = 0) -> ExperimentResult:
     """Regenerate the Table 3 cost-distribution ranges."""
-    config = TrainingRunConfig(
+    session = Session(
         model="7b",
         cluster_preset="C",
         num_gpus=num_gpus,
@@ -66,9 +70,8 @@ def run(num_gpus: int = 32, total_context: int = 128 * 1024, seed: int = 0) -> E
         num_steps=1,
         seed=seed,
     )
-    run_ = TrainingRun(config)
-    strategy = run_.strategy("zeppelin")
-    num_layers = run_.spec.num_layers
+    strategy = session.strategy("zeppelin")
+    num_layers = session.spec.num_layers
 
     batches = {
         "Balanced": balanced_case_study_batch(total_context, seed=seed),

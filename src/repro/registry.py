@@ -1,0 +1,261 @@
+"""Decorator-based registries for strategies and experiments.
+
+Strategies and experiments self-register at import time::
+
+    from repro.registry import register_strategy
+
+    @register_strategy("my_strategy", description="what it does")
+    class MyStrategy(Strategy):
+        ...
+
+Built-in entries are *lazy*: the registry knows which module provides each
+built-in name and imports it on first lookup, so ``available_strategies()``
+and CLI argument parsing stay cheap.  Registering a new strategy or
+experiment requires no change to :mod:`repro.training.runner` or
+:mod:`repro.cli` — the CLI, :class:`repro.api.Session` and ``repro list``
+all read from these registries.
+
+Public helpers:
+
+* :func:`register_strategy` / :func:`register_experiment` — decorators.
+* :func:`get_strategy` / :func:`get_experiment` — name -> entry lookup.
+* :func:`available_strategies` / :func:`available_experiments` — sorted names.
+* :func:`strategy_entries` / :func:`experiment_entries` — full metadata.
+* :func:`unregister_strategy` / :func:`unregister_experiment` — removal
+  (primarily for tests registering throwaway entries).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+
+class RegistryError(Exception):
+    """Base class for registry failures."""
+
+
+class DuplicateEntryError(RegistryError, ValueError):
+    """A name was registered twice."""
+
+
+class UnknownEntryError(RegistryError, ValueError, KeyError):
+    """A name was looked up that no entry (eager or lazy) provides.
+
+    Subclasses both :class:`ValueError` and :class:`KeyError` so callers of
+    the pre-registry APIs (``build_strategy`` raised ``ValueError``,
+    ``get_model`` raises ``KeyError``) keep working unchanged.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered strategy or experiment.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case short name, e.g. ``"te_cp"`` or ``"fig11"``).
+    obj:
+        The registered object: a :class:`~repro.core.strategy.Strategy`
+        subclass for strategies, a zero-argument ``run()`` callable returning
+        an :class:`~repro.experiments.common.ExperimentResult` for experiments.
+    description:
+        One-line human description shown by ``repro list``.
+    module:
+        Dotted module path the entry was registered from.
+    metadata:
+        Free-form extra metadata passed to the decorator.
+    """
+
+    name: str
+    obj: Any
+    description: str
+    module: str
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _first_doc_line(obj: Any) -> str:
+    doc = getattr(obj, "__doc__", None) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+class Registry:
+    """A named mapping from short names to :class:`RegistryEntry`.
+
+    ``lazy_modules`` maps names to the dotted module that registers them when
+    imported; lookups and listings resolve these hints on demand.
+    """
+
+    def __init__(self, kind: str, lazy_modules: Mapping[str, str] | None = None):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+        self._lazy_modules: dict[str, str] = dict(lazy_modules or {})
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        obj: Any,
+        *,
+        description: str | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> RegistryEntry:
+        """Register ``obj`` under ``name``; duplicate names raise.
+
+        A collision with a lazily-known built-in counts as a duplicate, unless
+        it is that built-in's providing module registering itself.
+        """
+        key = name.lower()
+        provider = self._lazy_modules.get(key)
+        registrant = getattr(obj, "__module__", "")
+        if key in self._entries or (provider is not None and provider != registrant):
+            existing = self._entries.get(key)
+            owner = existing.module if existing is not None else provider
+            raise DuplicateEntryError(
+                f"{self.kind} {name!r} is already registered by {owner}"
+            )
+        entry = RegistryEntry(
+            name=key,
+            obj=obj,
+            description=description if description is not None else _first_doc_line(obj),
+            module=getattr(obj, "__module__", ""),
+            metadata=dict(metadata or {}),
+        )
+        self._entries[key] = entry
+        return entry
+
+    def decorator(
+        self, name: str, *, description: str | None = None, **metadata: Any
+    ) -> Callable[[Any], Any]:
+        """Decorator form of :meth:`register`; returns the object unchanged."""
+
+        def _register(obj: Any) -> Any:
+            self.register(name, obj, description=description, metadata=metadata)
+            return obj
+
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (and any lazy hint) by name."""
+        key = name.lower()
+        found = self._entries.pop(key, None) is not None
+        found = self._lazy_modules.pop(key, None) is not None or found
+        if not found:
+            raise UnknownEntryError(f"unknown {self.kind} {name!r}; nothing to unregister")
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, name: str) -> RegistryEntry:
+        """Look up an entry, importing its providing module if needed."""
+        key = name.lower()
+        if key not in self._entries and key in self._lazy_modules:
+            importlib.import_module(self._lazy_modules[key])
+        if key not in self._entries:
+            available = ", ".join(self.names()) or "<none>"
+            raise UnknownEntryError(
+                f"unknown {self.kind} {name!r}; available: {available}"
+            )
+        return self._entries[key]
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted names of every entry, registered or lazily known."""
+        return tuple(sorted(set(self._entries) | set(self._lazy_modules)))
+
+    def entries(self) -> tuple[RegistryEntry, ...]:
+        """Every entry with metadata, resolving all lazy modules."""
+        return tuple(self.get(name) for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries or name.lower() in self._lazy_modules
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+
+# Built-in strategy name -> providing module.  Imported on first lookup; each
+# module's ``@register_strategy`` decorator performs the actual registration.
+_BUILTIN_STRATEGY_MODULES = {
+    "te_cp": "repro.baselines.te_cp",
+    "llama_cp": "repro.baselines.llama_cp",
+    "hybrid_dp": "repro.baselines.hybrid_dp",
+    "packing": "repro.baselines.packing",
+    "zeppelin": "repro.core.zeppelin",
+}
+
+# Built-in experiment name -> providing module (one per paper figure/table).
+_BUILTIN_EXPERIMENT_MODULES = {
+    "fig1": "repro.experiments.fig01_length_distributions",
+    "fig3": "repro.experiments.fig03_attention_cost_breakdown",
+    "fig5": "repro.experiments.fig05_zone_boundaries",
+    "fig8": "repro.experiments.fig08_end_to_end",
+    "fig9": "repro.experiments.fig09_scalability",
+    "fig10": "repro.experiments.fig10_cluster_comparison",
+    "fig11": "repro.experiments.fig11_ablation",
+    "fig12": "repro.experiments.fig12_timeline",
+    "table2": "repro.experiments.table2_dataset_distributions",
+    "table3": "repro.experiments.table3_cost_distribution",
+}
+
+STRATEGIES = Registry("strategy", _BUILTIN_STRATEGY_MODULES)
+EXPERIMENTS = Registry("experiment", _BUILTIN_EXPERIMENT_MODULES)
+
+
+def register_strategy(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a :class:`Strategy` subclass by short name."""
+    return STRATEGIES.decorator(name, description=description, **metadata)
+
+
+def register_experiment(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Decorator registering an experiment ``run()`` callable by short name."""
+    return EXPERIMENTS.decorator(name, description=description, **metadata)
+
+
+def get_strategy(name: str) -> RegistryEntry:
+    return STRATEGIES.get(name)
+
+
+def get_experiment(name: str) -> RegistryEntry:
+    return EXPERIMENTS.get(name)
+
+
+def available_strategies() -> tuple[str, ...]:
+    return STRATEGIES.names()
+
+
+def available_experiments() -> tuple[str, ...]:
+    return EXPERIMENTS.names()
+
+
+def strategy_entries() -> tuple[RegistryEntry, ...]:
+    return STRATEGIES.entries()
+
+
+def experiment_entries() -> tuple[RegistryEntry, ...]:
+    return EXPERIMENTS.entries()
+
+
+def unregister_strategy(name: str) -> None:
+    STRATEGIES.unregister(name)
+
+
+def unregister_experiment(name: str) -> None:
+    EXPERIMENTS.unregister(name)
+
+
+def iter_experiment_modules() -> Iterable[tuple[str, str]]:
+    """(name, module) pairs of the built-in experiments, without importing."""
+    return tuple(sorted(_BUILTIN_EXPERIMENT_MODULES.items()))

@@ -1,0 +1,162 @@
+"""Structured run results: frozen dataclasses with stable dict/JSON forms.
+
+:class:`RunResult` captures one strategy's measured throughput on one
+configuration; :class:`CompareResult` groups several runs over identical
+batches and normalises them against a baseline.  Both serialise with
+``to_dict()``/``to_json()`` and are consumed uniformly by the CLI
+(``repro compare --json``), the experiment modules and the examples,
+replacing the loose ``speedup_table`` row dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
+
+
+def _frozen_mapping(value: Mapping[str, Any]) -> Mapping[str, Any]:
+    if isinstance(value, MappingProxyType):
+        return value
+    return MappingProxyType(dict(value))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measured throughput of one strategy on one configuration.
+
+    Attributes
+    ----------
+    strategy:
+        Registry key the strategy was built from (e.g. ``"zeppelin"``).
+    label:
+        Human-readable strategy name (e.g. ``"Zeppelin"`` or
+        ``"Zeppelin (no routing)"``).
+    tokens_per_second:
+        Average training throughput over the measured batches.
+    iteration_time_s:
+        Mean simulated iteration time.
+    total_tokens:
+        Tokens processed across all measured batches.
+    num_batches:
+        Number of batches averaged over.
+    config:
+        The session configuration the run was measured under, as a mapping.
+    """
+
+    strategy: str
+    label: str
+    tokens_per_second: float
+    iteration_time_s: float
+    total_tokens: int
+    num_batches: int
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _frozen_mapping(self.config))
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Throughput ratio against a baseline run."""
+        if baseline.tokens_per_second == 0:
+            raise ZeroDivisionError("baseline throughput is zero")
+        return self.tokens_per_second / baseline.tokens_per_second
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "label": self.label,
+            "tokens_per_second": self.tokens_per_second,
+            "iteration_time_s": self.iteration_time_s,
+            "total_tokens": self.total_tokens,
+            "num_batches": self.num_batches,
+            "config": dict(self.config),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Several strategies measured on identical batches, with a baseline.
+
+    Attributes
+    ----------
+    runs:
+        One :class:`RunResult` per compared strategy, in comparison order.
+    baseline:
+        Registry key of the run speedups are normalised against (the paper
+        normalises against TE CP, which comparisons list first).
+    config:
+        The shared session configuration.
+    """
+
+    runs: tuple[RunResult, ...]
+    baseline: str = ""
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("a comparison needs at least one run")
+        object.__setattr__(self, "config", _frozen_mapping(self.config))
+        baseline = self.baseline or self.runs[0].strategy
+        object.__setattr__(self, "baseline", baseline)
+        if not any(r.strategy == baseline for r in self.runs):
+            raise ValueError(
+                f"baseline {baseline!r} is not among the compared strategies: "
+                f"{[r.strategy for r in self.runs]}"
+            )
+
+    # -- access -----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def get(self, strategy: str) -> RunResult:
+        """The run for one strategy key (or display label)."""
+        for run in self.runs:
+            if run.strategy == strategy or run.label == strategy:
+                return run
+        raise KeyError(
+            f"no run for strategy {strategy!r}; have {[r.strategy for r in self.runs]}"
+        )
+
+    @property
+    def baseline_run(self) -> RunResult:
+        return self.get(self.baseline)
+
+    def speedup(self, strategy: str) -> float:
+        """Throughput of ``strategy`` normalised to the baseline."""
+        return self.get(strategy).speedup_over(self.baseline_run)
+
+    # -- serialisation ----------------------------------------------------------
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Flat comparison rows (label, tokens/s, speedup) for table output."""
+        base = self.baseline_run
+        return [
+            {
+                "strategy": run.label,
+                "tokens_per_second": run.tokens_per_second,
+                "speedup": run.speedup_over(base),
+            }
+            for run in self.runs
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        base = self.baseline_run
+        return {
+            "config": dict(self.config),
+            "baseline": self.baseline,
+            "runs": [
+                {**run.to_dict(), "speedup": run.speedup_over(base)}
+                for run in self.runs
+            ],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,97 +1,45 @@
-"""High-level training-run API used by examples and experiments.
+"""Deprecated training-run API — thin shims over :mod:`repro.api`.
 
-:class:`TrainingRunConfig` captures one evaluation cell of the paper (model,
-cluster, dataset, context length, parallel degrees); :class:`TrainingRun`
-materialises the cluster, samples the synthetic batches, instantiates the
-requested strategies and reports their throughput side by side.
+The canonical programmatic surface is :class:`repro.api.Session`:
+
+* :class:`TrainingRunConfig` is a silent alias of
+  :class:`repro.api.SessionConfig` (same class, no warning).
+* :class:`TrainingRun` wraps a :class:`~repro.api.Session` and keeps the old
+  attribute/return-type surface (``ThroughputReport`` lists) working; it
+  emits a :class:`DeprecationWarning` on construction.
+* :func:`build_strategy` delegates to the strategy registry
+  (:mod:`repro.registry`) and warns; new strategies register themselves with
+  ``@register_strategy`` instead of being added to an if-chain here.
+
+New code should use ``repro.api.Session`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
-from repro.baselines.hybrid_dp import HybridDPStrategy
-from repro.baselines.llama_cp import LlamaCPStrategy
-from repro.baselines.packing import PackingStrategy
-from repro.baselines.te_cp import TransformerEngineCPStrategy
-from repro.cluster.presets import make_cluster, cluster_a, cluster_b, cluster_c
+from repro.api import Session, SessionConfig
+from repro.api import build_cluster as _build_cluster
 from repro.cluster.topology import Cluster
 from repro.core.strategy import Strategy, StrategyContext
-from repro.core.zeppelin import ZeppelinStrategy
-from repro.data.datasets import SyntheticDataset
 from repro.data.sampler import Batch
-from repro.model.spec import TransformerSpec, get_model
+from repro.model.spec import TransformerSpec
+from repro.registry import available_strategies, get_strategy
 from repro.training.throughput import ThroughputReport, measure_throughput
-from repro.utils.validation import check_positive
 
-STRATEGY_NAMES = ("te_cp", "llama_cp", "hybrid_dp", "zeppelin", "packing")
+# Deprecated alias kept for imports like ``from repro.training.runner import
+# TrainingRunConfig``; the class now lives in :mod:`repro.api`.
+TrainingRunConfig = SessionConfig
 
-
-@dataclass(frozen=True)
-class TrainingRunConfig:
-    """One evaluation configuration.
-
-    Attributes
-    ----------
-    model:
-        Model preset name or alias (``"7b"``, ``"llama-13b"``, ``"8x550m"``...).
-    cluster_preset:
-        ``"A"``, ``"B"`` or ``"C"`` (the paper's clusters).
-    num_gpus:
-        Total GPUs; must be a multiple of 8 (nodes are 8-GPU).
-    dataset:
-        Length-distribution name (``"arxiv"``, ``"github"``, ``"prolong64k"``).
-    total_context:
-        Total tokens per iteration (64k / 128k / 256k in the paper).
-    tensor_parallel:
-        Tensor-parallel degree (1 or 2 in the paper).
-    num_steps:
-        Number of batches to average throughput over.
-    seed:
-        Batch sampling seed.
-    """
-
-    model: str
-    cluster_preset: str = "A"
-    num_gpus: int = 16
-    dataset: str = "arxiv"
-    total_context: int = 64 * 1024
-    tensor_parallel: int = 1
-    num_steps: int = 3
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        check_positive("num_gpus", self.num_gpus)
-        check_positive("total_context", self.total_context)
-        check_positive("tensor_parallel", self.tensor_parallel)
-        check_positive("num_steps", self.num_steps)
-        if self.num_gpus % 8 != 0:
-            raise ValueError("num_gpus must be a multiple of 8 (8-GPU nodes)")
-
-    @property
-    def num_nodes(self) -> int:
-        return self.num_gpus // 8
-
-    @property
-    def tokens_per_gpu(self) -> int:
-        return self.total_context // self.num_gpus
-
-    @property
-    def tokens_per_dp_rank(self) -> int:
-        """Per-logical-rank token budget (the paper's ``L``)."""
-        return self.total_context // (self.num_gpus // self.tensor_parallel)
+# Snapshot of the built-in strategy names (deprecated; call
+# :func:`repro.registry.available_strategies` for the live view).
+STRATEGY_NAMES = available_strategies()
 
 
-def build_cluster(config: TrainingRunConfig) -> Cluster:
+def build_cluster(config: SessionConfig) -> Cluster:
     """Instantiate the cluster preset for a run configuration."""
-    preset = config.cluster_preset.upper()
-    if preset == "A":
-        return cluster_a(num_nodes=config.num_nodes)
-    if preset == "B":
-        return cluster_b(num_nodes=config.num_nodes)
-    if preset == "C":
-        return cluster_c(num_nodes=config.num_nodes)
-    raise ValueError(f"unknown cluster preset {config.cluster_preset!r}")
+    return _build_cluster(config)
 
 
 def build_strategy(
@@ -99,50 +47,60 @@ def build_strategy(
     context: StrategyContext,
     **kwargs,
 ) -> Strategy:
-    """Construct a strategy by short name."""
-    key = name.lower()
-    if key == "te_cp":
-        return TransformerEngineCPStrategy(context, **kwargs)
-    if key == "llama_cp":
-        return LlamaCPStrategy(context, **kwargs)
-    if key == "hybrid_dp":
-        return HybridDPStrategy(context, **kwargs)
-    if key == "zeppelin":
-        return ZeppelinStrategy(context, **kwargs)
-    if key == "packing":
-        return PackingStrategy(context, **kwargs)
-    raise ValueError(f"unknown strategy {name!r}; available: {STRATEGY_NAMES}")
+    """Construct a strategy by short name (deprecated registry shim)."""
+    warnings.warn(
+        "build_strategy is deprecated; use repro.registry.get_strategy or "
+        "repro.api.Session.strategy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return get_strategy(name).obj(context, **kwargs)
 
 
 @dataclass
 class TrainingRun:
-    """Materialised run: cluster, model, batches, and strategy comparison."""
+    """Deprecated facade over :class:`repro.api.Session`.
+
+    Keeps the original surface — ``cluster``/``spec``/``context``/``batches``
+    attributes, ``run_strategy`` returning :class:`ThroughputReport` and
+    ``compare`` returning a report list — while delegating all work (and
+    benefiting from the session's plan cache).
+    """
 
     config: TrainingRunConfig
-    cluster: Cluster = field(init=False)
-    spec: TransformerSpec = field(init=False)
-    context: StrategyContext = field(init=False)
-    batches: list[Batch] = field(init=False)
 
     def __post_init__(self) -> None:
-        self.cluster = build_cluster(self.config)
-        self.spec = get_model(self.config.model)
-        self.context = StrategyContext(
-            cluster=self.cluster,
-            spec=self.spec,
-            token_budget=self.config.tokens_per_dp_rank,
-            tensor_parallel=self.config.tensor_parallel,
+        warnings.warn(
+            "TrainingRun is deprecated; use repro.api.Session",
+            DeprecationWarning,
+            stacklevel=3,
         )
-        dataset = SyntheticDataset(
-            name=self.config.dataset,
-            total_context=self.config.total_context,
-            seed=self.config.seed,
-        )
-        self.batches = dataset.batches(self.config.num_steps)
+        self._session = Session(self.config)
+
+    @property
+    def session(self) -> Session:
+        """The backing session (for incremental migration)."""
+        return self._session
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._session.cluster
+
+    @property
+    def spec(self) -> TransformerSpec:
+        return self._session.spec
+
+    @property
+    def context(self) -> StrategyContext:
+        return self._session.context
+
+    @property
+    def batches(self) -> list[Batch]:
+        return self._session.batches
 
     def strategy(self, name: str, **kwargs) -> Strategy:
         """Build one strategy bound to this run's context."""
-        return build_strategy(name, self.context, **kwargs)
+        return self._session.strategy(name, **kwargs)
 
     def run_strategy(self, name: str, **kwargs) -> ThroughputReport:
         """Measure one strategy's throughput over this run's batches."""

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENT_MODULES, build_parser, main
+from repro.cli import CONFIG_ERROR_EXIT_CODE, build_parser, main
+from repro.registry import available_experiments, get_experiment
 
 
 class TestParser:
@@ -11,6 +14,7 @@ class TestParser:
         assert args.model == "7b"
         assert args.gpus == 16
         assert args.strategies == ["te_cp", "llama_cp", "hybrid_dp", "zeppelin"]
+        assert args.json is False
 
     def test_experiment_requires_known_name(self):
         with pytest.raises(SystemExit):
@@ -20,12 +24,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_every_experiment_module_is_importable(self):
-        import importlib
-
-        for module_name in EXPERIMENT_MODULES.values():
-            module = importlib.import_module(module_name)
-            assert hasattr(module, "run") and hasattr(module, "main")
+    def test_every_experiment_is_registered_with_a_runner(self):
+        for name in available_experiments():
+            entry = get_experiment(name)
+            assert callable(entry.obj)
+            assert entry.description
 
 
 class TestMain:
@@ -35,6 +38,8 @@ class TestMain:
         assert "llama-7b" in out
         assert "zeppelin" in out
         assert "fig8" in out
+        # Per-strategy descriptions come from the registry.
+        assert "TransformerEngine CP" in out
 
     def test_compare_command_small_config(self, capsys):
         code = main(
@@ -53,7 +58,61 @@ class TestMain:
         assert "TE CP" in out and "Zeppelin" in out
         assert "speedup" in out
 
+    def test_compare_json_output(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "3b",
+                "--gpus", "16",
+                "--context-k", "32",
+                "--steps", "1",
+                "--strategies", "te_cp", "zeppelin",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "te_cp"
+        assert [r["strategy"] for r in payload["runs"]] == ["te_cp", "zeppelin"]
+        assert payload["runs"][0]["speedup"] == pytest.approx(1.0)
+        assert payload["runs"][1]["speedup"] > 1.0
+        assert payload["config"]["model"] == "3b"
+
+    def test_compare_bad_gpu_count_exits_2(self, capsys):
+        code = main(["compare", "--gpus", "12", "--steps", "1"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "multiple of 8" in err
+
+    def test_compare_unknown_model_exits_2(self, capsys):
+        code = main(["compare", "--model", "gpt-17t", "--steps", "1"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "gpt-17t" in err
+
+    def test_compare_unknown_dataset_exits_2(self, capsys):
+        code = main(["compare", "--model", "3b", "--dataset", "nope", "--steps", "1"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope" in err
+
     def test_experiment_command(self, capsys):
         assert main(["experiment", "table2"]) == 0
         out = capsys.readouterr().out
         assert "arxiv" in out and "prolong64k" in out
+
+    def test_experiment_json_output(self, capsys):
+        assert main(["experiment", "table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "table2"
+        assert payload["headers"][0] == "dataset"
+        assert any(row[0] == "arxiv" for row in payload["rows"])
+
+    def test_experiment_result_serialises_nested_tuple_keys(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(name="x", description="d", headers=["a"])
+        result.extra["outer"] = {("model", 64): {"inner": 1.0}}
+        payload = json.loads(result.to_json())
+        assert payload["extra"]["outer"] == {"('model', 64)": {"inner": 1.0}}
