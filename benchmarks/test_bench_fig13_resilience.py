@@ -1,0 +1,36 @@
+"""Benchmark regenerating Fig. 13 (goodput under faults and recovery policies)."""
+
+from repro.experiments import fig13_resilience
+
+
+def test_bench_fig13_resilience(benchmark, printed_results):
+    result = benchmark.pedantic(
+        lambda: fig13_resilience.run(num_steps=1),
+        rounds=1,
+        iterations=1,
+    )
+    printed_results.append(result.to_text())
+
+    strategies = fig13_resilience.DEFAULT_STRATEGIES
+    mttf_values = fig13_resilience.DEFAULT_MTTF_S
+    harshest = min(m for m in mttf_values if m is not None)
+    for strategy in strategies:
+        healthy = result.extra[(None, "elastic", strategy)]
+        faulty_elastic = result.extra[(harshest, "elastic", strategy)]
+        faulty_ckpt = result.extra[(harshest, "checkpoint_restart", strategy)]
+        # No failures injected -> no recoveries, full workload completes.
+        assert healthy["restart_count"] == 0
+        assert healthy["completed_iterations"] == healthy["num_iterations"]
+        # Failures cost goodput under either policy.
+        assert faulty_elastic["goodput_tokens_per_second"] <= healthy["goodput_tokens_per_second"]
+        assert faulty_ckpt["goodput_fraction"] < healthy["goodput_fraction"]
+        # Elastic re-partition degrades gracefully; checkpoint-restart pays
+        # recomputation + restart downtime (the headline of the experiment).
+        assert (
+            faulty_elastic["goodput_tokens_per_second"]
+            > faulty_ckpt["goodput_tokens_per_second"]
+        )
+    # Zeppelin's scheduling advantage survives fault injection.
+    zeppelin = result.extra[(None, "elastic", "zeppelin")]
+    te_cp = result.extra[(None, "elastic", "te_cp")]
+    assert zeppelin["goodput_tokens_per_second"] > te_cp["goodput_tokens_per_second"]

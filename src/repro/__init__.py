@@ -11,8 +11,13 @@ Variable-length Workloads in Data Parallel Large Model Training* (EUROSYS
   models, synthetic variable-length workloads, a NumPy reference attention
   stack and a discrete-event simulator,
 * a registry-driven planning API (:mod:`repro.api`, :mod:`repro.registry`)
-  with structured results (:mod:`repro.results`), and
-* one experiment module per paper figure/table (:mod:`repro.experiments`).
+  with structured results (:mod:`repro.results`),
+* fault & variability injection with recovery policies
+  (:mod:`repro.dynamics`): stragglers, degraded links and node failures over
+  a deterministic seeded schedule, with checkpoint-restart and elastic
+  re-partition recovery, and
+* one experiment module per paper figure/table (:mod:`repro.experiments`),
+  plus the ``fig13_resilience`` fault sweep.
 
 Quickstart::
 
@@ -44,17 +49,20 @@ from repro.cluster.presets import cluster_a, cluster_b, cluster_c, make_cluster
 from repro.core.strategy import Strategy, StrategyContext
 from repro.core.zeppelin import ZeppelinStrategy
 from repro.data.sampler import Batch, Sequence
+from repro.dynamics import PerturbationConfig, PerturbationModel
 from repro.model.spec import get_model
 from repro.registry import (
     available_experiments,
+    available_recoveries,
     available_strategies,
     register_experiment,
+    register_recovery,
     register_strategy,
 )
-from repro.results import CompareResult, RunResult
+from repro.results import CompareResult, ResilienceResult, RunResult
 from repro.training.runner import TrainingRun, TrainingRunConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_COMPARISON",
@@ -69,12 +77,17 @@ __all__ = [
     "ZeppelinStrategy",
     "Batch",
     "Sequence",
+    "PerturbationConfig",
+    "PerturbationModel",
     "get_model",
     "available_experiments",
+    "available_recoveries",
     "available_strategies",
     "register_experiment",
+    "register_recovery",
     "register_strategy",
     "CompareResult",
+    "ResilienceResult",
     "RunResult",
     "TrainingRun",
     "TrainingRunConfig",

@@ -39,7 +39,7 @@ from repro.data.datasets import SyntheticDataset
 from repro.data.sampler import Batch
 from repro.model.spec import TransformerSpec, get_model
 from repro.registry import get_strategy
-from repro.results import CompareResult, RunResult
+from repro.results import CompareResult, ResilienceResult, RunResult
 from repro.utils.validation import check_positive
 
 # The paper's standard comparison order: TE CP is the speedup baseline.
@@ -258,13 +258,31 @@ class Session:
         proxy = self.strategy(strategy, **kwargs)
         return proxy.plan_layer(batch, phase=phase)
 
-    def run(self, strategy: str, *, label: str | None = None, **kwargs: Any) -> RunResult:
-        """Measure one strategy's throughput over the session batches."""
+    def run(
+        self,
+        strategy: str,
+        *,
+        label: str | None = None,
+        perturbation: Any | None = None,
+        recovery: Any = "checkpoint_restart",
+        num_iterations: int = 32,
+        **kwargs: Any,
+    ) -> "RunResult | ResilienceResult":
+        """Measure one strategy's throughput over the session batches.
+
+        With ``perturbation`` set (a :class:`~repro.dynamics.PerturbationConfig`,
+        :class:`~repro.dynamics.PerturbationModel`, or a mapping of config
+        fields), the strategy instead trains ``num_iterations`` iterations on a
+        cluster perturbed by a schedule drawn deterministically from the
+        session seed, applying the ``recovery`` policy (registry name or
+        :class:`~repro.dynamics.RecoveryPolicy` instance) whenever a node
+        fails, and returns a :class:`~repro.results.ResilienceResult`.
+        """
         from repro.training.throughput import measure_throughput
 
         proxy = self.strategy(strategy, **kwargs)
         report = measure_throughput(proxy, self.batches)
-        return RunResult(
+        result = RunResult(
             strategy=strategy.lower(),
             label=label if label is not None else report.strategy,
             tokens_per_second=report.tokens_per_second,
@@ -273,20 +291,91 @@ class Session:
             num_batches=report.num_batches,
             config=self.config.to_dict(),
         )
+        if perturbation is None:
+            return result
+        return self._run_resilient(
+            strategy,
+            healthy=result,
+            perturbation=perturbation,
+            recovery=recovery,
+            num_iterations=num_iterations,
+            **kwargs,
+        )
+
+    def _run_resilient(
+        self,
+        strategy: str,
+        *,
+        healthy: RunResult,
+        perturbation: Any,
+        recovery: Any,
+        num_iterations: int,
+        **kwargs: Any,
+    ) -> "ResilienceResult":
+        """Run the dynamics driver and wrap its report as a result."""
+        from repro.dynamics.models import as_model
+        from repro.dynamics.recovery import as_policy, run_resilient
+
+        model = as_model(perturbation)
+        schedule = model.generate(self.cluster, seed=self.config.seed)
+        policy = as_policy(recovery)
+        report = run_resilient(
+            self,
+            strategy,
+            schedule=schedule,
+            policy=policy,
+            num_iterations=num_iterations,
+            **kwargs,
+        )
+        return ResilienceResult(
+            strategy=healthy.strategy,
+            label=healthy.label,
+            recovery=policy.name,
+            goodput_tokens_per_second=report.goodput_tokens_per_second,
+            healthy_tokens_per_second=healthy.tokens_per_second,
+            wall_time_s=report.wall_time_s,
+            time_lost_s=report.time_lost_s,
+            restart_count=report.restart_count,
+            num_failures=report.num_failures,
+            completed_iterations=report.completed_iterations,
+            num_iterations=report.num_iterations,
+            final_num_nodes=report.final_num_nodes,
+            total_tokens=report.useful_tokens,
+            config=self.config.to_dict(),
+            perturbation=model.config.to_dict(),
+        )
 
     def compare(
         self,
         strategies: Sequence[str] = DEFAULT_COMPARISON,
         baseline: str | None = None,
+        *,
+        perturbation: Any | None = None,
+        recovery: Any = "checkpoint_restart",
+        num_iterations: int = 32,
     ) -> CompareResult:
         """Measure several strategies on identical batches.
 
         The speedup baseline defaults to the first strategy (the paper
-        normalises against TE CP, which comparisons list first).
+        normalises against TE CP, which comparisons list first).  With
+        ``perturbation`` set, every strategy faces the identical perturbation
+        schedule and recovery policy, and the comparison rows normalise
+        *goodput* instead of raw throughput.
         """
         if not strategies:
             raise ValueError("need at least one strategy to compare")
-        runs = tuple(self.run(name) for name in strategies)
+        if perturbation is None:
+            runs: tuple[Any, ...] = tuple(self.run(name) for name in strategies)
+        else:
+            runs = tuple(
+                self.run(
+                    name,
+                    perturbation=perturbation,
+                    recovery=recovery,
+                    num_iterations=num_iterations,
+                )
+                for name in strategies
+            )
         return CompareResult(
             runs=runs,
             baseline=(baseline or strategies[0]).lower(),

@@ -1,6 +1,12 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Three subcommands:
+Five subcommands:
+
+* ``run`` — measure one strategy on one configuration, optionally under
+  faults (:mod:`repro.dynamics`)::
+
+      python -m repro run zeppelin --model 7b --gpus 16
+      python -m repro run zeppelin --mttf 60 --recovery elastic --json
 
 * ``compare`` — run one evaluation cell (model, cluster, dataset, context,
   scale) and print the throughput of the selected strategies side by side::
@@ -8,42 +14,124 @@ Three subcommands:
       python -m repro compare --model 7b --dataset arxiv --gpus 16 --context-k 64
 
   ``--json`` emits the structured :class:`~repro.results.CompareResult`
-  instead of the table.
+  instead of the table.  The dynamics flags (``--mttf``,
+  ``--straggler-frac``, ``--recovery``...) switch the comparison to goodput
+  under the identical perturbation schedule for every strategy.
 
 * ``experiment`` — regenerate one of the paper's tables/figures by name::
 
       python -m repro experiment fig11
-      python -m repro experiment table3 --json
+      python -m repro experiment fig13_resilience --json
+
+* ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
 * ``list`` — show every registered model, dataset, strategy and experiment
   (with descriptions), straight from the registries.
 
-Strategies and experiments are resolved through :mod:`repro.registry`;
-anything registered with ``@register_strategy`` / ``@register_experiment``
-shows up here without touching this module.  The same functionality is
-available programmatically through :class:`repro.api.Session`.
+A single ``--seed`` drives every stochastic path — batch sampling *and* the
+perturbation schedule — so any run is reproducible from one flag.
+
+Strategies, experiments and recovery policies are resolved through
+:mod:`repro.registry`; anything registered with ``@register_strategy`` /
+``@register_experiment`` / ``@register_recovery`` shows up here without
+touching this module.  The same functionality is available programmatically
+through :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
 from repro.registry import (
     RegistryError,
     available_experiments,
+    available_recoveries,
     available_strategies,
     experiment_entries,
     get_experiment,
+    recovery_entries,
     strategy_entries,
 )
 from repro.utils.tables import render_table
+from repro.utils.validation import check_positive
 
 # Exit code for configuration errors (bad GPU count, unknown model/dataset...).
 CONFIG_ERROR_EXIT_CODE = 2
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    """Evaluation-cell flags shared by ``run`` and ``compare``."""
+    parser.add_argument("--model", default="7b", help="model preset (3b/7b/13b/30b/8x550m)")
+    parser.add_argument("--cluster", default="A", choices=["A", "B", "C"], help="cluster preset")
+    parser.add_argument("--gpus", type=int, default=16, help="total GPUs (multiple of 8)")
+    parser.add_argument("--dataset", default="arxiv", help="length distribution name")
+    parser.add_argument("--context-k", type=int, default=64, help="total context in k tokens")
+    parser.add_argument("--tensor-parallel", type=int, default=1, help="TP degree")
+    parser.add_argument("--steps", type=int, default=2, help="batches to average over")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for all stochastic paths (batch sampling and dynamics)",
+    )
+
+
+def _add_dynamics_args(parser: argparse.ArgumentParser) -> None:
+    """Fault/variability-injection flags shared by ``run`` and ``compare``."""
+    group = parser.add_argument_group(
+        "dynamics", "fault & variability injection (see `repro dynamics`)"
+    )
+    group.add_argument(
+        "--mttf",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-node mean time to failure; enables node failures",
+    )
+    group.add_argument(
+        "--max-failures", type=int, default=2, help="cap on injected node failures"
+    )
+    group.add_argument(
+        "--straggler-frac",
+        type=float,
+        default=0.0,
+        help="fraction of GPUs that are persistent stragglers",
+    )
+    group.add_argument(
+        "--straggler-slowdown",
+        type=float,
+        default=0.7,
+        help="mean speed factor of straggler GPUs",
+    )
+    group.add_argument(
+        "--nic-degrade-frac",
+        type=float,
+        default=0.0,
+        help="fraction of NICs that degrade during the run",
+    )
+    group.add_argument(
+        "--nic-degrade-factor",
+        type=float,
+        default=0.5,
+        help="bandwidth factor of a degraded NIC",
+    )
+    group.add_argument(
+        "--recovery",
+        default="checkpoint_restart",
+        choices=list(available_recoveries()),
+        help="recovery policy applied on node failure",
+    )
+    group.add_argument(
+        "--iterations",
+        type=int,
+        default=32,
+        help="training iterations simulated in a resilience run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,15 +142,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="measure one strategy, optionally under injected faults"
+    )
+    run.add_argument(
+        "strategy", choices=list(available_strategies()), help="strategy to run"
+    )
+    _add_config_args(run)
+    _add_dynamics_args(run)
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured result as JSON instead of a table",
+    )
+
     compare = sub.add_parser("compare", help="compare strategies on one configuration")
-    compare.add_argument("--model", default="7b", help="model preset (3b/7b/13b/30b/8x550m)")
-    compare.add_argument("--cluster", default="A", choices=["A", "B", "C"], help="cluster preset")
-    compare.add_argument("--gpus", type=int, default=16, help="total GPUs (multiple of 8)")
-    compare.add_argument("--dataset", default="arxiv", help="length distribution name")
-    compare.add_argument("--context-k", type=int, default=64, help="total context in k tokens")
-    compare.add_argument("--tensor-parallel", type=int, default=1, help="TP degree")
-    compare.add_argument("--steps", type=int, default=2, help="batches to average over")
-    compare.add_argument("--seed", type=int, default=0, help="batch sampling seed")
+    _add_config_args(compare)
+    _add_dynamics_args(compare)
     compare.add_argument(
         "--strategies",
         nargs="+",
@@ -86,11 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=list(available_experiments()), help="experiment identifier"
     )
     experiment.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's sampling/dynamics seed (if it takes one)",
+    )
+    experiment.add_argument(
         "--json",
         action="store_true",
         help="emit the structured ExperimentResult as JSON instead of a table",
     )
 
+    sub.add_parser(
+        "dynamics", help="list recovery policies and perturbation model knobs"
+    )
     sub.add_parser(
         "list", help="list registered models, datasets, strategies and experiments"
     )
@@ -104,6 +209,78 @@ def _config_error(exc: Exception) -> int:
     return CONFIG_ERROR_EXIT_CODE
 
 
+def _session_config(args: argparse.Namespace) -> SessionConfig:
+    return SessionConfig(
+        model=args.model,
+        cluster_preset=args.cluster,
+        num_gpus=args.gpus,
+        dataset=args.dataset,
+        total_context=args.context_k * 1024,
+        tensor_parallel=args.tensor_parallel,
+        num_steps=args.steps,
+        seed=args.seed,
+    )
+
+
+def _perturbation(args: argparse.Namespace):
+    """The PerturbationConfig implied by the dynamics flags, or ``None``."""
+    from repro.dynamics.models import PerturbationConfig
+
+    config = PerturbationConfig(
+        mttf_s=args.mttf,
+        max_failures=args.max_failures,
+        straggler_frac=args.straggler_frac,
+        straggler_slowdown=args.straggler_slowdown,
+        nic_degrade_frac=args.nic_degrade_frac,
+        nic_degrade_factor=args.nic_degrade_factor,
+    )
+    return None if config.is_null else config
+
+
+def _build_session(args: argparse.Namespace) -> tuple[Session, Any] | int:
+    """Build and validate the session and perturbation, or return the
+    config-error exit code.
+
+    Only configuration validation runs inside the try: building the session,
+    materialising the batches and constructing the perturbation surface every
+    bad-input error (GPU count, unknown model/cluster/dataset, out-of-range
+    dynamics knobs).  Bugs during the actual measurement should propagate as
+    tracebacks, not masquerade as config errors.
+    """
+    try:
+        session = Session(_session_config(args))
+        session.batches
+        check_positive("iterations", args.iterations)
+        perturbation = _perturbation(args)
+    except (ValueError, KeyError) as exc:
+        return _config_error(exc)
+    return session, perturbation
+
+
+def run_run(args: argparse.Namespace) -> int:
+    """Execute the ``run`` subcommand."""
+    built = _build_session(args)
+    if isinstance(built, int):
+        return built
+    session, perturbation = built
+    result = session.run(
+        args.strategy,
+        perturbation=perturbation,
+        recovery=args.recovery,
+        num_iterations=args.iterations,
+    )
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(session.cluster.describe())
+    data = result.to_dict()
+    data.pop("config", None)
+    data.pop("perturbation", None)
+    rows = [[key, value] for key, value in data.items()]
+    print(render_table(["field", "value"], rows))
+    return 0
+
+
 def run_compare(args: argparse.Namespace) -> int:
     """Execute the ``compare`` subcommand."""
     if args.baseline is not None and args.baseline.lower() not in [
@@ -115,26 +292,17 @@ def run_compare(args: argparse.Namespace) -> int:
                 f"strategies: {args.strategies}"
             )
         )
-    # Only configuration validation runs inside the try: building the session
-    # and materialising the batches surface every bad-input error (GPU count,
-    # unknown model/cluster/dataset).  Bugs during the actual measurement
-    # should propagate as tracebacks, not masquerade as config errors.
-    try:
-        config = SessionConfig(
-            model=args.model,
-            cluster_preset=args.cluster,
-            num_gpus=args.gpus,
-            dataset=args.dataset,
-            total_context=args.context_k * 1024,
-            tensor_parallel=args.tensor_parallel,
-            num_steps=args.steps,
-            seed=args.seed,
-        )
-        session = Session(config)
-        session.batches
-    except (ValueError, KeyError) as exc:
-        return _config_error(exc)
-    result = session.compare(tuple(args.strategies), baseline=args.baseline)
+    built = _build_session(args)
+    if isinstance(built, int):
+        return built
+    session, perturbation = built
+    result = session.compare(
+        tuple(args.strategies),
+        baseline=args.baseline,
+        perturbation=perturbation,
+        recovery=args.recovery,
+        num_iterations=args.iterations,
+    )
     if args.json:
         print(result.to_json(indent=2))
         return 0
@@ -143,15 +311,28 @@ def run_compare(args: argparse.Namespace) -> int:
         [r["strategy"], round(r["tokens_per_second"]), f"{r['speedup']:.2f}x"]
         for r in result.rows()
     ]
-    print(render_table(["strategy", "tokens/second", "speedup"], rows))
+    rate = "goodput" if perturbation is not None else "tokens/second"
+    print(render_table(["strategy", rate, "speedup"], rows))
     return 0
 
 
 def run_experiment(args: argparse.Namespace) -> int:
     """Execute the ``experiment`` subcommand."""
     entry = get_experiment(args.name)
+    kwargs = {}
+    if args.seed is not None:
+        if "seed" not in inspect.signature(entry.obj).parameters:
+            return _config_error(
+                ValueError(f"experiment {args.name!r} does not take a seed")
+            )
+        kwargs["seed"] = args.seed
     if args.json:
-        print(entry.obj().to_json(indent=2))
+        print(entry.obj(**kwargs).to_json(indent=2))
+        return 0
+    if kwargs:
+        from repro.experiments.common import print_result
+
+        print_result(entry.obj(**kwargs))
         return 0
     # The table path runs the module's ``main()`` so experiments keep any
     # auxiliary output they print beyond the result table (e.g. fig5's zone
@@ -163,6 +344,23 @@ def run_experiment(args: argparse.Namespace) -> int:
     else:
         print(entry.obj().to_text())
         print()
+    return 0
+
+
+def run_dynamics(args: argparse.Namespace) -> int:
+    """Execute the ``dynamics`` subcommand."""
+    from repro.dynamics.models import PerturbationConfig
+
+    print("recovery policies:")
+    for entry in recovery_entries():
+        print(f"  {entry.name:<20} {entry.description}")
+    print()
+    print("perturbation knobs (PerturbationConfig defaults):")
+    defaults = PerturbationConfig()
+    for field_name, value in defaults.to_dict().items():
+        print(f"  {field_name:<20} {value}")
+    print()
+    print("CLI: repro run/compare --mttf S --straggler-frac F --recovery NAME ...")
     return 0
 
 
@@ -178,7 +376,10 @@ def run_list(args: argparse.Namespace) -> int:
         print(f"  {entry.name:<12} {entry.description}")
     print("experiments:")
     for entry in experiment_entries():
-        print(f"  {entry.name:<12} {entry.description}")
+        print(f"  {entry.name:<16} {entry.description}")
+    print("recovery policies:")
+    for entry in recovery_entries():
+        print(f"  {entry.name:<20} {entry.description}")
     return 0
 
 
@@ -187,8 +388,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": run_run,
         "compare": run_compare,
         "experiment": run_experiment,
+        "dynamics": run_dynamics,
         "list": run_list,
     }
     try:

@@ -1,0 +1,200 @@
+"""Seeded stochastic models that generate perturbation schedules.
+
+:class:`PerturbationModel` draws timed events from the distributions that
+production log studies report for large GPU clusters: persistent compute
+stragglers affecting a fraction of GPUs, bandwidth degradation on a fraction
+of NICs with random onset, and node failures as a Poisson process with a
+configurable per-node MTTF.  Generation is driven entirely by one
+``numpy`` generator, so a schedule is a pure function of (config, cluster,
+seed) — the bit-for-bit determinism the resilience experiments rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.dynamics.events import (
+    GpuSlowdown,
+    NicDegrade,
+    NodeFailure,
+    PerturbationEvent,
+    PerturbationSchedule,
+)
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Knobs of the perturbation model.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed for event generation.  ``None`` inherits the seed of the
+        session the perturbation is applied to, so one ``--seed`` flag
+        reproduces both batch sampling and dynamics.
+    horizon_s:
+        Length of the generated schedule; no events occur after it.
+    mttf_s:
+        Per-node mean time to failure in seconds (exponential inter-arrival
+        model, aggregated across alive nodes).  ``None`` disables failures.
+    max_failures:
+        Upper bound on generated node failures.
+    straggler_frac:
+        Fraction of GPUs that are persistent stragglers (present from t=0).
+    straggler_slowdown:
+        Mean speed factor of straggler GPUs (e.g. 0.7 = 30% slower).
+    straggler_jitter:
+        Standard deviation of the straggler speed factor.
+    nic_degrade_frac:
+        Fraction of NICs that degrade at a random onset time in the horizon.
+    nic_degrade_factor:
+        Bandwidth factor of a degraded NIC.
+    """
+
+    seed: int | None = None
+    horizon_s: float = 3600.0
+    mttf_s: float | None = None
+    max_failures: int = 2
+    straggler_frac: float = 0.0
+    straggler_slowdown: float = 0.7
+    straggler_jitter: float = 0.1
+    nic_degrade_frac: float = 0.0
+    nic_degrade_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("horizon_s", self.horizon_s)
+        check_non_negative("max_failures", self.max_failures)
+        if self.mttf_s is not None:
+            check_positive("mttf_s", self.mttf_s)
+        for name in ("straggler_frac", "nic_degrade_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("straggler_slowdown", "nic_degrade_factor"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        check_non_negative("straggler_jitter", self.straggler_jitter)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the configuration generates no events at all."""
+        return (
+            self.mttf_s is None
+            and self.straggler_frac == 0.0
+            and self.nic_degrade_frac == 0.0
+        )
+
+    def replace(self, **overrides: Any) -> "PerturbationConfig":
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+# Speed factors are clipped away from zero so a straggler never becomes an
+# accidental failure (failures are modelled explicitly).
+_MIN_SPEED_FACTOR = 0.05
+
+
+class PerturbationModel:
+    """Generates deterministic perturbation schedules from a config."""
+
+    def __init__(self, config: PerturbationConfig | None = None, **overrides: Any):
+        if config is None:
+            config = PerturbationConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+
+    def generate(self, cluster: Cluster, seed: int | None = None) -> PerturbationSchedule:
+        """Draw one schedule for ``cluster``.
+
+        ``seed`` is the fallback when the config leaves its own seed unset
+        (the session passes its batch-sampling seed here).  Event groups are
+        drawn in a fixed order — stragglers, NIC degradations, failures — so
+        the schedule is reproducible run to run.
+        """
+        config = self.config
+        effective_seed = config.seed if config.seed is not None else (seed or 0)
+        rng = np.random.default_rng(effective_seed)
+        events: list[PerturbationEvent] = []
+        events.extend(self._stragglers(cluster, rng))
+        events.extend(self._nic_degradations(cluster, rng))
+        events.extend(self._failures(cluster, rng))
+        return PerturbationSchedule(events=tuple(events))
+
+    # -- event groups ------------------------------------------------------------
+
+    def _stragglers(self, cluster: Cluster, rng: np.random.Generator) -> list[GpuSlowdown]:
+        config = self.config
+        count = int(round(config.straggler_frac * cluster.world_size))
+        if count == 0:
+            return []
+        ranks = rng.choice(cluster.world_size, size=count, replace=False)
+        factors = rng.normal(config.straggler_slowdown, config.straggler_jitter, size=count)
+        return [
+            GpuSlowdown(
+                time_s=0.0,
+                rank=int(rank),
+                factor=float(np.clip(factor, _MIN_SPEED_FACTOR, 1.0)),
+            )
+            for rank, factor in zip(ranks, factors)
+        ]
+
+    def _nic_degradations(
+        self, cluster: Cluster, rng: np.random.Generator
+    ) -> list[NicDegrade]:
+        config = self.config
+        num_nics = cluster.num_nodes * cluster.profile.nics_per_node
+        count = int(round(config.nic_degrade_frac * num_nics))
+        if count == 0:
+            return []
+        nic_ids = rng.choice(num_nics, size=count, replace=False)
+        onsets = rng.uniform(0.0, config.horizon_s, size=count)
+        return [
+            NicDegrade(
+                time_s=float(onset),
+                nic_id=int(nic_id),
+                factor=config.nic_degrade_factor,
+            )
+            for nic_id, onset in zip(nic_ids, onsets)
+        ]
+
+    def _failures(self, cluster: Cluster, rng: np.random.Generator) -> list[NodeFailure]:
+        config = self.config
+        if config.mttf_s is None or config.max_failures == 0:
+            return []
+        events: list[NodeFailure] = []
+        alive = list(range(cluster.num_nodes))
+        clock = 0.0
+        while alive and len(events) < config.max_failures:
+            # Aggregate failure rate of the surviving nodes.
+            clock += float(rng.exponential(config.mttf_s / len(alive)))
+            if clock > config.horizon_s:
+                break
+            node = alive.pop(int(rng.integers(len(alive))))
+            events.append(NodeFailure(time_s=clock, node_id=node))
+        return events
+
+
+def as_model(
+    perturbation: PerturbationModel | PerturbationConfig | Mapping[str, Any],
+) -> PerturbationModel:
+    """Normalise the ``perturbation=`` argument accepted by the public API."""
+    if isinstance(perturbation, PerturbationModel):
+        return perturbation
+    if isinstance(perturbation, PerturbationConfig):
+        return PerturbationModel(perturbation)
+    if isinstance(perturbation, Mapping):
+        return PerturbationModel(PerturbationConfig(**perturbation))
+    raise TypeError(
+        "perturbation must be a PerturbationModel, PerturbationConfig or mapping "
+        f"of config fields, got {type(perturbation).__name__}"
+    )

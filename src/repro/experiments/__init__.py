@@ -16,6 +16,7 @@ Module                      Paper artifact
 ``fig10_cluster_comparison``  Fig. 10 — Cluster A vs Cluster B
 ``fig11_ablation``          Fig. 11 — component ablation
 ``fig12_timeline``          Fig. 12 — per-round timeline analysis
+``fig13_resilience``        Fig. 13 (extension) — goodput under injected faults
 ``table2_dataset_distributions``  Table 2 — evaluation dataset histograms
 ``table3_cost_distribution``  Table 3 — per-component cost ranges
 ==========================  =====================================================
@@ -30,6 +31,7 @@ __all__ = [
     "fig10_cluster_comparison",
     "fig11_ablation",
     "fig12_timeline",
+    "fig13_resilience",
     "table2_dataset_distributions",
     "table3_cost_distribution",
 ]

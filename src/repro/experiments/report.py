@@ -22,6 +22,7 @@ from repro.experiments import (
     fig10_cluster_comparison,
     fig11_ablation,
     fig12_timeline,
+    fig13_resilience,
     table2_dataset_distributions,
     table3_cost_distribution,
 )
@@ -38,6 +39,7 @@ _EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "fig10": lambda: fig10_cluster_comparison.run(num_steps=1),
     "fig11": lambda: fig11_ablation.run(num_steps=1),
     "fig12": fig12_timeline.run,
+    "fig13_resilience": lambda: fig13_resilience.run(num_steps=1),
     "table3": table3_cost_distribution.run,
 }
 

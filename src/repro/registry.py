@@ -202,12 +202,20 @@ _BUILTIN_EXPERIMENT_MODULES = {
     "fig10": "repro.experiments.fig10_cluster_comparison",
     "fig11": "repro.experiments.fig11_ablation",
     "fig12": "repro.experiments.fig12_timeline",
+    "fig13_resilience": "repro.experiments.fig13_resilience",
     "table2": "repro.experiments.table2_dataset_distributions",
     "table3": "repro.experiments.table3_cost_distribution",
 }
 
+# Built-in recovery policy name -> providing module (repro.dynamics).
+_BUILTIN_RECOVERY_MODULES = {
+    "checkpoint_restart": "repro.dynamics.recovery",
+    "elastic": "repro.dynamics.recovery",
+}
+
 STRATEGIES = Registry("strategy", _BUILTIN_STRATEGY_MODULES)
 EXPERIMENTS = Registry("experiment", _BUILTIN_EXPERIMENT_MODULES)
+RECOVERIES = Registry("recovery policy", _BUILTIN_RECOVERY_MODULES)
 
 
 def register_strategy(
@@ -248,12 +256,35 @@ def experiment_entries() -> tuple[RegistryEntry, ...]:
     return EXPERIMENTS.entries()
 
 
+def register_recovery(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a recovery policy by short name."""
+    return RECOVERIES.decorator(name, description=description, **metadata)
+
+
+def get_recovery(name: str) -> RegistryEntry:
+    return RECOVERIES.get(name)
+
+
+def available_recoveries() -> tuple[str, ...]:
+    return RECOVERIES.names()
+
+
+def recovery_entries() -> tuple[RegistryEntry, ...]:
+    return RECOVERIES.entries()
+
+
 def unregister_strategy(name: str) -> None:
     STRATEGIES.unregister(name)
 
 
 def unregister_experiment(name: str) -> None:
     EXPERIMENTS.unregister(name)
+
+
+def unregister_recovery(name: str) -> None:
+    RECOVERIES.unregister(name)
 
 
 def iter_experiment_modules() -> Iterable[tuple[str, str]]:

@@ -78,13 +78,116 @@ class RunResult:
 
 
 @dataclass(frozen=True)
+class ResilienceResult:
+    """Outcome of one strategy trained under faults with a recovery policy.
+
+    Produced by ``Session.run(strategy, perturbation=...)``.  Exposes
+    ``tokens_per_second`` (= goodput) so it slots into :class:`CompareResult`
+    exactly like a :class:`RunResult`: resilience comparisons and speedup
+    tables work unchanged.
+
+    Attributes
+    ----------
+    strategy / label:
+        Registry key and display name of the strategy.
+    recovery:
+        Registry key of the recovery policy applied on failures.
+    goodput_tokens_per_second:
+        Useful tokens (surviving roll-backs) per wall-clock second.
+    healthy_tokens_per_second:
+        The same strategy's throughput on the unperturbed cluster.
+    wall_time_s:
+        Total simulated wall-clock time of the run.
+    time_lost_s:
+        Time spent on lost partial iterations, recovery downtime and
+        recomputed work.
+    restart_count:
+        Recovery invocations (restarts or elastic replans).
+    num_failures:
+        Node failures that struck during the run.
+    completed_iterations / num_iterations:
+        Iterations whose work survived vs. the requested run length.
+    final_num_nodes:
+        Nodes alive at the end (shrinks under elastic recovery).
+    total_tokens:
+        Useful tokens accumulated over the run.
+    config:
+        The session configuration, as a mapping.
+    perturbation:
+        The perturbation configuration the schedule was drawn from.
+    """
+
+    strategy: str
+    label: str
+    recovery: str
+    goodput_tokens_per_second: float
+    healthy_tokens_per_second: float
+    wall_time_s: float
+    time_lost_s: float
+    restart_count: int
+    num_failures: int
+    completed_iterations: int
+    num_iterations: int
+    final_num_nodes: int
+    total_tokens: int
+    config: Mapping[str, Any] = field(default_factory=dict)
+    perturbation: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _frozen_mapping(self.config))
+        object.__setattr__(self, "perturbation", _frozen_mapping(self.perturbation))
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Goodput, aliased so comparison machinery treats this like a run."""
+        return self.goodput_tokens_per_second
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Goodput as a fraction of the healthy-cluster throughput."""
+        if self.healthy_tokens_per_second == 0:
+            return 0.0
+        return self.goodput_tokens_per_second / self.healthy_tokens_per_second
+
+    def speedup_over(self, baseline: "RunResult | ResilienceResult") -> float:
+        """Goodput ratio against a baseline result."""
+        if baseline.tokens_per_second == 0:
+            raise ZeroDivisionError("baseline throughput is zero")
+        return self.tokens_per_second / baseline.tokens_per_second
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "label": self.label,
+            "recovery": self.recovery,
+            "goodput_tokens_per_second": self.goodput_tokens_per_second,
+            "healthy_tokens_per_second": self.healthy_tokens_per_second,
+            "goodput_fraction": self.goodput_fraction,
+            "wall_time_s": self.wall_time_s,
+            "time_lost_s": self.time_lost_s,
+            "restart_count": self.restart_count,
+            "num_failures": self.num_failures,
+            "completed_iterations": self.completed_iterations,
+            "num_iterations": self.num_iterations,
+            "final_num_nodes": self.final_num_nodes,
+            "total_tokens": self.total_tokens,
+            "config": dict(self.config),
+            "perturbation": dict(self.perturbation),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
 class CompareResult:
     """Several strategies measured on identical batches, with a baseline.
 
     Attributes
     ----------
     runs:
-        One :class:`RunResult` per compared strategy, in comparison order.
+        One :class:`RunResult` (or :class:`ResilienceResult`, for perturbed
+        comparisons) per compared strategy, in comparison order.
     baseline:
         Registry key of the run speedups are normalised against (the paper
         normalises against TE CP, which comparisons list first).
@@ -92,7 +195,7 @@ class CompareResult:
         The shared session configuration.
     """
 
-    runs: tuple[RunResult, ...]
+    runs: "tuple[RunResult | ResilienceResult, ...]"
     baseline: str = ""
     config: Mapping[str, Any] = field(default_factory=dict)
 

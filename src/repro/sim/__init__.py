@@ -10,6 +10,7 @@ on real hardware.
 """
 
 from repro.sim.engine import Simulator, SimulationResult, simulate
+from repro.sim.events import ResourceEvent
 from repro.sim.trace import Trace, TraceSpan, summarize_trace
 from repro.sim.visualize import render_timeline, timeline_summary_lines
 
@@ -17,6 +18,7 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "ResourceEvent",
     "Trace",
     "TraceSpan",
     "summarize_trace",

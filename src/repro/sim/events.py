@@ -6,6 +6,44 @@ import heapq
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class ResourceEvent:
+    """A timed change to the state of one or more simulator resources.
+
+    This is the engine-level vocabulary of :mod:`repro.dynamics`: cluster-level
+    perturbations (GPU stragglers, NIC degradation, node failures) compile down
+    to resource events before the simulator sees them.
+
+    Attributes
+    ----------
+    time_s:
+        Absolute time the change takes effect.  The simulator converts it to
+        plan-local time via its ``start_time_s`` argument; events at or before
+        the start of the simulation set the initial resource state.
+    resources:
+        Resource names affected (``compute:3``, ``nic:1:tx``...).  Names not
+        used by the simulated plan are ignored.
+    factor:
+        New speed factor of the resources (1.0 = healthy, 0.5 = half speed).
+        ``None`` means the resources *fail*: tasks holding them are aborted
+        and tasks requiring them can never start.
+    """
+
+    time_s: float
+    resources: tuple[str, ...]
+    factor: float | None = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor is not None and not 0.0 < self.factor:
+            raise ValueError("speed factor must be positive (use factor=None for failure)")
+        if not self.resources:
+            raise ValueError("a resource event must name at least one resource")
+
+    @property
+    def is_failure(self) -> bool:
+        return self.factor is None
+
+
 @dataclass(order=True)
 class Event:
     """A task-completion event ordered by time (ties broken by sequence number)."""

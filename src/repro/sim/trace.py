@@ -9,6 +9,7 @@ the per-round costs look like.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.core.plan import TaskKind
@@ -16,7 +17,12 @@ from repro.core.plan import TaskKind
 
 @dataclass(frozen=True)
 class TraceSpan:
-    """One executed task: when it ran, where, and what kind of work it was."""
+    """One executed task: when it ran, where, and what kind of work it was.
+
+    ``aborted`` marks a task that was cut short by a resource failure
+    (:mod:`repro.dynamics`); its ``end_s`` is the failure time, not a natural
+    completion.
+    """
 
     task_id: int
     name: str
@@ -24,10 +30,34 @@ class TraceSpan:
     rank: int
     start_s: float
     end_s: float
+    aborted: bool = False
 
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "name": self.name,
+            "kind": self.kind.value,
+            "rank": self.rank,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "aborted": self.aborted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpan":
+        return cls(
+            task_id=data["task_id"],
+            name=data["name"],
+            kind=TaskKind(data["kind"]),
+            rank=data["rank"],
+            start_s=data["start_s"],
+            end_s=data["end_s"],
+            aborted=data.get("aborted", False),
+        )
 
 
 @dataclass
@@ -43,6 +73,34 @@ class Trace:
     def makespan_s(self) -> float:
         """Wall-clock span of the trace (latest end time)."""
         return max((s.end_s for s in self.spans), default=0.0)
+
+    @property
+    def aborted_spans(self) -> list[TraceSpan]:
+        """Spans cut short by a resource failure."""
+        return [s for s in self.spans if s.aborted]
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-safe span rows, in recording order."""
+        return [s.to_dict() for s in self.spans]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the trace (e.g. for offline timeline tooling)."""
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    @classmethod
+    def from_dicts(cls, rows: list[dict]) -> "Trace":
+        """Rebuild a trace from :meth:`to_dicts` output."""
+        trace = cls()
+        for row in rows:
+            trace.add(TraceSpan.from_dict(row))
+        return trace
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_json` output."""
+        return cls.from_dicts(json.loads(text))
 
     def spans_for_rank(self, rank: int) -> list[TraceSpan]:
         """Spans attributed to a rank, ordered by start time."""

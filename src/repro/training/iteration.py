@@ -11,12 +11,14 @@ plans small enough to simulate quickly even at 128 GPUs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.plan import ExecutionPlan
 from repro.core.strategy import Strategy
 from repro.data.sampler import Batch
 from repro.model.flops import embedding_flops_per_token
 from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.events import ResourceEvent
 from repro.utils.validation import check_positive
 
 # Fixed per-iteration overhead for the optimizer step and data loading, in
@@ -87,6 +89,7 @@ def simulate_iteration(
     batch: Batch,
     simulator: Simulator | None = None,
     record_trace: bool = True,
+    events: "Sequence[ResourceEvent] | None" = None,
 ) -> IterationResult:
     """Plan, simulate and scale one full training iteration.
 
@@ -101,6 +104,11 @@ def simulate_iteration(
     record_trace:
         Record per-task traces (needed for the Fig. 12 analysis; disable for
         large benchmark sweeps).
+    events:
+        Optional resource perturbations (:mod:`repro.dynamics`) applied to the
+        simulated layer, e.g. straggler speed factors.  Because the layer plan
+        is representative of every layer, persistent conditions scale to the
+        whole iteration.
     """
     if simulator is None:
         simulator = Simulator(record_trace=record_trace)
@@ -111,8 +119,8 @@ def simulate_iteration(
         forward_plan.num_tasks + backward_plan.num_tasks
     )
 
-    forward = simulator.run(forward_plan)
-    backward = simulator.run(backward_plan)
+    forward = simulator.run(forward_plan, events=events)
+    backward = simulator.run(backward_plan, events=events)
 
     num_layers = strategy.spec.num_layers
     check_positive("num_layers", num_layers)

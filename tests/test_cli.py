@@ -15,6 +15,23 @@ class TestParser:
         assert args.gpus == 16
         assert args.strategies == ["te_cp", "llama_cp", "hybrid_dp", "zeppelin"]
         assert args.json is False
+        # Dynamics default to off.
+        assert args.mttf is None
+        assert args.straggler_frac == 0.0
+        assert args.recovery == "checkpoint_restart"
+
+    def test_run_parses_strategy_and_dynamics_flags(self):
+        args = build_parser().parse_args(
+            ["run", "zeppelin", "--mttf", "30", "--recovery", "elastic", "--seed", "7"]
+        )
+        assert args.strategy == "zeppelin"
+        assert args.mttf == 30.0
+        assert args.recovery == "elastic"
+        assert args.seed == 7
+
+    def test_run_rejects_unknown_recovery(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "zeppelin", "--recovery", "pray"])
 
     def test_experiment_requires_known_name(self):
         with pytest.raises(SystemExit):
@@ -96,6 +113,107 @@ class TestMain:
         assert code == CONFIG_ERROR_EXIT_CODE
         err = capsys.readouterr().err
         assert err.startswith("error:") and "nope" in err
+
+    def test_run_command_plain(self, capsys):
+        code = main(
+            ["run", "zeppelin", "--model", "3b", "--context-k", "32", "--steps", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "zeppelin"
+        assert payload["tokens_per_second"] > 0
+        assert "recovery" not in payload
+
+    def test_run_command_with_dynamics(self, capsys):
+        code = main(
+            [
+                "run", "zeppelin",
+                "--model", "3b", "--context-k", "32", "--steps", "1",
+                "--straggler-frac", "0.25", "--recovery", "elastic",
+                "--iterations", "4", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovery"] == "elastic"
+        assert payload["goodput_tokens_per_second"] > 0
+        assert payload["goodput_fraction"] < 1.0
+        assert payload["perturbation"]["straggler_frac"] == 0.25
+
+    def test_run_command_table_output(self, capsys):
+        code = main(
+            ["run", "zeppelin", "--model", "3b", "--context-k", "32", "--steps", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tokens_per_second" in out and "ClusterA" in out
+
+    def test_run_bad_config_exits_2(self, capsys):
+        code = main(["run", "zeppelin", "--gpus", "12"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "multiple of 8" in capsys.readouterr().err
+
+    def test_run_bad_perturbation_exits_2(self, capsys):
+        code = main(["run", "zeppelin", "--model", "3b", "--straggler-frac", "1.5"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "straggler_frac" in capsys.readouterr().err
+
+    def test_run_bad_iterations_exits_2(self, capsys):
+        code = main(
+            ["run", "zeppelin", "--model", "3b", "--straggler-frac", "0.1",
+             "--iterations", "0"]
+        )
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "iterations" in capsys.readouterr().err
+
+    def test_compare_with_dynamics_reports_goodput(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "3b", "--context-k", "32", "--steps", "1",
+                "--strategies", "te_cp", "zeppelin",
+                "--straggler-frac", "0.25", "--iterations", "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all("goodput_tokens_per_second" in r for r in payload["runs"])
+        assert payload["runs"][0]["speedup"] == pytest.approx(1.0)
+
+    def test_same_seed_same_dynamics_output(self, capsys):
+        argv = [
+            "run", "zeppelin",
+            "--model", "3b", "--context-k", "32", "--steps", "1",
+            "--mttf", "3", "--iterations", "6", "--seed", "13", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_dynamics_command_lists_policies(self, capsys):
+        assert main(["dynamics"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint_restart" in out
+        assert "elastic" in out
+        assert "mttf_s" in out
+
+    def test_list_includes_recoveries_and_fig13(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery policies:" in out
+        assert "fig13_resilience" in out
+
+    def test_experiment_seed_flag(self, capsys):
+        assert main(["experiment", "fig1", "--seed", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig1"
+
+    def test_experiment_seed_rejected_when_unsupported(self, capsys):
+        code = main(["experiment", "table2", "--seed", "5"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "does not take a seed" in capsys.readouterr().err
 
     def test_experiment_command(self, capsys):
         assert main(["experiment", "table2"]) == 0

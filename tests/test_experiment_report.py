@@ -41,7 +41,7 @@ class TestReport:
     def test_registry_covers_every_paper_artifact(self):
         assert set(_EXPERIMENTS) == {
             "fig1", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "table2", "table3",
+            "fig13_resilience", "table2", "table3",
         }
 
     def test_generate_report_subset(self, tmp_path):

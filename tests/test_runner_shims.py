@@ -1,0 +1,94 @@
+"""Coverage for the deprecated ``repro.training.runner`` shims.
+
+The shims must keep the pre-registry surface working — same numbers as the
+``Session`` they delegate to — while warning loudly enough that migrations
+happen.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import Session, SessionConfig
+from repro.core.strategy import Strategy
+from repro.training.runner import (
+    STRATEGY_NAMES,
+    TrainingRun,
+    TrainingRunConfig,
+    build_cluster,
+    build_strategy,
+)
+from repro.training.throughput import ThroughputReport
+
+CONFIG = SessionConfig(model="3b", num_gpus=16, total_context=32 * 1024, num_steps=1)
+
+
+@pytest.fixture()
+def training_run():
+    with pytest.warns(DeprecationWarning, match="TrainingRun is deprecated"):
+        return TrainingRun(CONFIG)
+
+
+class TestTrainingRunShim:
+    def test_construction_warns_exactly_once(self):
+        with pytest.warns(DeprecationWarning, match="use repro.api.Session") as record:
+            TrainingRun(CONFIG)
+        assert len([w for w in record if w.category is DeprecationWarning]) == 1
+
+    def test_config_alias_is_the_session_config(self):
+        assert TrainingRunConfig is SessionConfig
+
+    def test_exposes_session_attributes(self, training_run):
+        session = training_run.session
+        assert isinstance(session, Session)
+        assert training_run.cluster is session.cluster
+        assert training_run.spec is session.spec
+        assert training_run.context is session.context
+        assert training_run.batches is session.batches
+
+    def test_run_strategy_matches_session_run(self, training_run):
+        report = training_run.run_strategy("zeppelin")
+        assert isinstance(report, ThroughputReport)
+        expected = Session(CONFIG).run("zeppelin")
+        assert report.tokens_per_second == pytest.approx(expected.tokens_per_second)
+        assert report.total_tokens == expected.total_tokens
+        assert report.num_batches == expected.num_batches
+
+    def test_compare_matches_session_compare(self, training_run):
+        names = ("te_cp", "zeppelin")
+        reports = training_run.compare(names)
+        assert [type(r) for r in reports] == [ThroughputReport, ThroughputReport]
+        expected = Session(CONFIG).compare(names)
+        for report, run in zip(reports, expected.runs):
+            assert report.tokens_per_second == pytest.approx(run.tokens_per_second)
+
+    def test_strategy_uses_the_session_plan_cache(self, training_run):
+        strategy = training_run.strategy("zeppelin")
+        batch = training_run.batches[0]
+        assert strategy.plan_layer(batch) is strategy.plan_layer(batch)
+
+
+class TestBuildStrategyShim:
+    def test_warns_and_builds_the_registered_class(self):
+        context = Session(CONFIG).context
+        with pytest.warns(DeprecationWarning, match="build_strategy is deprecated"):
+            strategy = build_strategy("zeppelin", context)
+        assert isinstance(strategy, Strategy)
+        assert strategy.name.lower().startswith("zeppelin")
+
+    def test_unknown_name_raises_value_error(self):
+        context = Session(CONFIG).context
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                build_strategy("nope", context)
+
+    def test_strategy_names_snapshot_covers_builtins(self):
+        # The snapshot was taken at import time; the live registry may have
+        # gained test-local entries since, but never lost a built-in.
+        assert {"te_cp", "llama_cp", "hybrid_dp", "packing", "zeppelin"} <= set(
+            STRATEGY_NAMES
+        )
+
+    def test_build_cluster_delegates(self):
+        assert build_cluster(CONFIG).world_size == 16

@@ -1,9 +1,12 @@
 """Tests for trace recording and timeline accounting."""
 
+import json
+
 import pytest
 
 from repro.core.plan import ExecutionPlan, TaskKind
 from repro.sim.engine import simulate
+from repro.sim.events import ResourceEvent
 from repro.sim.trace import Trace, TraceSpan, summarize_trace
 
 
@@ -63,6 +66,58 @@ class TestTrace:
         by_kind = trace.time_by_kind()
         assert by_kind[TaskKind.ATTENTION] == pytest.approx(3.0)
         assert by_kind[TaskKind.REMAP] == pytest.approx(0.5)
+
+
+class TestTraceExport:
+    def test_span_dict_round_trip(self):
+        original = span(3, TaskKind.REMAP, 1, 0.5, 2.0, name="remap:0->1")
+        restored = TraceSpan.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_trace_json_round_trip(self):
+        trace = Trace()
+        trace.add(span(0, TaskKind.ATTENTION, 0, 0.0, 1.0))
+        trace.add(span(1, TaskKind.INTER_COMM, 1, 0.5, 2.5))
+        restored = Trace.from_json(trace.to_json())
+        assert restored.spans == trace.spans
+        assert restored.makespan_s == trace.makespan_s
+
+    def test_round_trip_preserves_aborted_flag(self):
+        trace = Trace()
+        trace.add(
+            TraceSpan(
+                task_id=0, name="t", kind=TaskKind.LINEAR, rank=2,
+                start_s=0.0, end_s=1.5, aborted=True,
+            )
+        )
+        restored = Trace.from_json(trace.to_json())
+        assert restored.spans[0].aborted
+        assert restored.aborted_spans == trace.aborted_spans
+
+    def test_missing_aborted_key_defaults_false(self):
+        # Traces exported before the dynamics subsystem lack the flag.
+        row = span(0, TaskKind.ATTENTION, 0, 0.0, 1.0).to_dict()
+        del row["aborted"]
+        assert not TraceSpan.from_dict(row).aborted
+
+    def test_simulated_abort_survives_export(self):
+        """End to end: a failure mid-plan exports and re-imports faithfully."""
+        plan = ExecutionPlan()
+        a = plan.add("a", TaskKind.ATTENTION, 2.0, ("compute:0",), rank=0)
+        plan.add("b", TaskKind.LINEAR, 1.0, ("compute:0",), deps=[a], rank=0)
+        plan.add("c", TaskKind.ATTENTION, 0.5, ("compute:1",), rank=1)
+        result = simulate(plan, events=[ResourceEvent(1.0, ("compute:0",), None)])
+        assert result.failed
+        text = result.trace.to_json(indent=2)
+        json.loads(text)  # valid JSON
+        restored = Trace.from_json(text)
+        assert restored.spans == result.trace.spans
+        aborted = restored.aborted_spans
+        assert [s.task_id for s in aborted] == [0]
+        assert aborted[0].end_s == pytest.approx(1.0)
+        # Completed work on the surviving rank round-trips too.
+        complete = [s for s in restored.spans if not s.aborted]
+        assert [s.task_id for s in complete] == [2]
 
 
 class TestSummarizeTrace:
