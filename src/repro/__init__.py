@@ -15,7 +15,12 @@ Variable-length Workloads in Data Parallel Large Model Training* (EUROSYS
 * fault & variability injection with recovery policies
   (:mod:`repro.dynamics`): stragglers, degraded links and node failures over
   a deterministic seeded schedule, with checkpoint-restart and elastic
-  re-partition recovery, and
+  re-partition recovery,
+* declarative sweep execution (:mod:`repro.exec`): frozen
+  :class:`~repro.exec.SweepSpec` grids with zip/filter/derived axes,
+  pluggable ``serial``/``process`` backends, a content-hash result cache
+  under ``.repro_cache/`` and structured :class:`~repro.exec.SweepResult`
+  output, and
 * one experiment module per paper figure/table (:mod:`repro.experiments`),
   plus the ``fig13_resilience`` fault sweep.
 
@@ -50,11 +55,14 @@ from repro.core.strategy import Strategy, StrategyContext
 from repro.core.zeppelin import ZeppelinStrategy
 from repro.data.sampler import Batch, Sequence
 from repro.dynamics import PerturbationConfig, PerturbationModel
+from repro.exec import SweepPoint, SweepResult, SweepSpec, run_sweep
 from repro.model.spec import get_model
 from repro.registry import (
+    available_backends,
     available_experiments,
     available_recoveries,
     available_strategies,
+    register_backend,
     register_experiment,
     register_recovery,
     register_strategy,
@@ -62,7 +70,7 @@ from repro.registry import (
 from repro.results import CompareResult, ResilienceResult, RunResult
 from repro.training.runner import TrainingRun, TrainingRunConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DEFAULT_COMPARISON",
@@ -79,10 +87,16 @@ __all__ = [
     "Sequence",
     "PerturbationConfig",
     "PerturbationModel",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
     "get_model",
+    "available_backends",
     "available_experiments",
     "available_recoveries",
     "available_strategies",
+    "register_backend",
     "register_experiment",
     "register_recovery",
     "register_strategy",

@@ -345,6 +345,39 @@ class Session:
             perturbation=model.config.to_dict(),
         )
 
+    @staticmethod
+    def _is_custom_model(perturbation: Any) -> bool:
+        """True for PerturbationModel *subclasses*, whose behaviour (e.g. an
+        overridden ``generate``) would be lost by flattening to a config dict."""
+        from repro.dynamics.models import PerturbationModel
+
+        return (
+            isinstance(perturbation, PerturbationModel)
+            and type(perturbation) is not PerturbationModel
+        )
+
+    def _run_base(
+        self,
+        perturbation: Any | None,
+        recovery: str,
+        num_iterations: int,
+    ) -> dict[str, Any]:
+        """Constant sweep-point fields shared by compare()/sweep() grids."""
+        if perturbation is not None:
+            from repro.dynamics.models import as_model
+
+            perturbation = as_model(perturbation).config.to_dict()
+        return {
+            **self.config.to_dict(),
+            "strategy_kwargs": {},
+            "label": None,
+            "perturbation": perturbation,
+            # With no perturbation the recovery field is inert; normalise any
+            # non-string to the default so the point stays JSON-representable.
+            "recovery": recovery if isinstance(recovery, str) else "checkpoint_restart",
+            "num_iterations": num_iterations,
+        }
+
     def compare(
         self,
         strategies: Sequence[str] = DEFAULT_COMPARISON,
@@ -361,12 +394,22 @@ class Session:
         ``perturbation`` set, every strategy faces the identical perturbation
         schedule and recovery policy, and the comparison rows normalise
         *goodput* instead of raw throughput.
+
+        Implemented as a one-axis sweep through :mod:`repro.exec`, executed
+        serially against this session's own caches.
         """
+        from repro.exec.spec import SweepSpec
+        from repro.exec.sweep import run_sweep
+        from repro.exec.worker import SessionPool
+
         if not strategies:
             raise ValueError("need at least one strategy to compare")
-        if perturbation is None:
-            runs: tuple[Any, ...] = tuple(self.run(name) for name in strategies)
-        else:
+        if perturbation is not None and (
+            not isinstance(recovery, str) or self._is_custom_model(perturbation)
+        ):
+            # A configured policy *instance* or a PerturbationModel subclass
+            # cannot ride in a JSON sweep point without losing behaviour;
+            # run it directly (same results, no sweep machinery).
             runs = tuple(
                 self.run(
                     name,
@@ -376,8 +419,18 @@ class Session:
                 )
                 for name in strategies
             )
+            return CompareResult(
+                runs=runs,
+                baseline=(baseline or strategies[0]).lower(),
+                config=self.config.to_dict(),
+            )
+        spec = SweepSpec(
+            base=self._run_base(perturbation, recovery, num_iterations),
+            axes={"strategy": tuple(strategies)},
+        )
+        sweep = run_sweep(spec, backend="serial", pool=SessionPool(self))
         return CompareResult(
-            runs=runs,
+            runs=sweep.results,
             baseline=(baseline or strategies[0]).lower(),
             config=self.config.to_dict(),
         )
@@ -411,6 +464,9 @@ class Session:
         datasets: Sequence[str] | None = None,
         strategies: Sequence[str] = DEFAULT_COMPARISON,
         baseline: str | None = None,
+        backend: Any = None,
+        jobs: int = 1,
+        cache: Any = False,
     ) -> tuple[CompareResult, ...]:
         """Compare strategies over the cartesian product of sweep axes.
 
@@ -418,22 +474,39 @@ class Session:
         Returns one :class:`CompareResult` per cell, in ``gpus`` x
         ``contexts`` x ``datasets`` order; each cell's configuration is in
         ``cell.config``.
+
+        Declared as one :class:`~repro.exec.SweepSpec` grid over
+        (gpus, contexts, datasets, strategy) and executed through
+        :func:`~repro.exec.run_sweep` — pass ``backend``/``jobs``/``cache``
+        to parallelise the fan-out or reuse cached points.
         """
-        gpu_axis = tuple(gpus) if gpus is not None else (self.config.num_gpus,)
-        context_axis = (
-            tuple(contexts) if contexts is not None else (self.config.total_context,)
+        from repro.exec.spec import SweepSpec
+        from repro.exec.sweep import run_sweep
+        from repro.exec.worker import SessionPool
+
+        if not strategies:
+            raise ValueError("need at least one strategy to compare")
+        spec = SweepSpec(
+            base=self._run_base(None, "checkpoint_restart", 32),
+            axes={
+                "num_gpus": tuple(gpus) if gpus is not None else (self.config.num_gpus,),
+                "total_context": (
+                    tuple(contexts) if contexts is not None else (self.config.total_context,)
+                ),
+                "dataset": (
+                    tuple(datasets) if datasets is not None else (self.config.dataset,)
+                ),
+                "strategy": tuple(strategies),
+            },
         )
-        dataset_axis = (
-            tuple(datasets) if datasets is not None else (self.config.dataset,)
-        )
+        pool = SessionPool(self) if backend in (None, "serial") and jobs == 1 else None
+        sweep = run_sweep(spec, backend=backend, jobs=jobs, cache=cache, pool=pool)
         cells = []
-        for num_gpus in gpu_axis:
-            for total_context in context_axis:
-                for dataset in dataset_axis:
-                    child = self.derive(
-                        num_gpus=num_gpus,
-                        total_context=total_context,
-                        dataset=dataset,
-                    )
-                    cells.append(child.compare(strategies, baseline=baseline))
+        for _, group in sweep.groups("num_gpus", "total_context", "dataset"):
+            config = SessionConfig(**group.points[0].session_fields()).to_dict()
+            cells.append(
+                group.to_compare(
+                    baseline=(baseline or strategies[0]).lower(), config=config
+                )
+            )
         return tuple(cells)

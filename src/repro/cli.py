@@ -1,6 +1,6 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Five subcommands:
+Seven subcommands:
 
 * ``run`` — measure one strategy on one configuration, optionally under
   faults (:mod:`repro.dynamics`)::
@@ -18,24 +18,41 @@ Five subcommands:
   ``--straggler-frac``, ``--recovery``...) switch the comparison to goodput
   under the identical perturbation schedule for every strategy.
 
-* ``experiment`` — regenerate one of the paper's tables/figures by name::
+* ``sweep`` — declare a (clusters x gpus x contexts x datasets x strategies)
+  grid and execute it through :mod:`repro.exec`, with backend fan-out and
+  result caching::
+
+      python -m repro sweep --gpus 16 32 --datasets arxiv github --jobs 4
+
+* ``experiment`` — regenerate one of the paper's tables/figures by name
+  (module-basename aliases like ``fig09_scalability`` also work)::
 
       python -m repro experiment fig11
-      python -m repro experiment fig13_resilience --json
+      python -m repro experiment fig09_scalability --jobs 4
+
+  ``--backend``/``--jobs`` fan the experiment's sweep out over a backend;
+  the result cache is on by default here and ``--no-cache`` disables it.
+
+* ``trace`` — simulate one strategy's layer plan and export the execution
+  timeline as Chrome-trace JSON (``chrome://tracing`` / Perfetto)::
+
+      python -m repro trace zeppelin --model 3b --out timeline.json
 
 * ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
-* ``list`` — show every registered model, dataset, strategy and experiment
-  (with descriptions), straight from the registries.
+* ``list`` — show every registered model, dataset, strategy, experiment,
+  recovery policy and execution backend (with descriptions), straight from
+  the registries.
 
 A single ``--seed`` drives every stochastic path — batch sampling *and* the
 perturbation schedule — so any run is reproducible from one flag.
 
-Strategies, experiments and recovery policies are resolved through
-:mod:`repro.registry`; anything registered with ``@register_strategy`` /
-``@register_experiment`` / ``@register_recovery`` shows up here without
-touching this module.  The same functionality is available programmatically
-through :class:`repro.api.Session`.
+Strategies, experiments, recovery policies and execution backends are
+resolved through :mod:`repro.registry`; anything registered with
+``@register_strategy`` / ``@register_experiment`` / ``@register_recovery`` /
+``@register_backend`` shows up here without touching this module.  The same
+functionality is available programmatically through
+:class:`repro.api.Session` and :mod:`repro.exec`.
 """
 
 from __future__ import annotations
@@ -49,9 +66,12 @@ from typing import Any, Sequence
 from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
 from repro.registry import (
     RegistryError,
+    available_backends,
     available_experiments,
     available_recoveries,
     available_strategies,
+    backend_entries,
+    experiment_aliases,
     experiment_entries,
     get_experiment,
     recovery_entries,
@@ -134,6 +154,30 @@ def _add_dynamics_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_args(parser: argparse.ArgumentParser, for_experiment: bool = False) -> None:
+    """Sweep-execution flags shared by ``sweep`` and ``experiment``."""
+    group = parser.add_argument_group(
+        "execution", "sweep backend and result cache (see `repro list`)"
+    )
+    group.add_argument(
+        "--backend",
+        default=None,
+        choices=list(available_backends()),
+        help="execution backend (default: serial, or process when --jobs > 1)",
+    )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None if for_experiment else 1,
+        help="parallel workers for backends that fan out",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash result cache (.repro_cache/)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -177,9 +221,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the structured CompareResult as JSON instead of a table",
     )
 
+    sweep = sub.add_parser(
+        "sweep", help="execute a declarative strategy/cluster/dataset grid"
+    )
+    sweep.add_argument("--model", default="7b", help="model preset (3b/7b/13b/30b/8x550m)")
+    sweep.add_argument(
+        "--clusters",
+        nargs="+",
+        default=["A"],
+        choices=["A", "B", "C"],
+        help="cluster preset axis",
+    )
+    sweep.add_argument(
+        "--gpus", nargs="+", type=int, default=[16], help="GPU-count axis (multiples of 8)"
+    )
+    sweep.add_argument(
+        "--context-k", nargs="+", type=int, default=[64], help="total-context axis (k tokens)"
+    )
+    sweep.add_argument(
+        "--datasets", nargs="+", default=["arxiv"], help="length-distribution axis"
+    )
+    sweep.add_argument(
+        "--strategies",
+        nargs="+",
+        default=list(DEFAULT_COMPARISON),
+        choices=list(available_strategies()),
+        help="strategy axis",
+    )
+    sweep.add_argument("--tensor-parallel", type=int, default=1, help="TP degree")
+    sweep.add_argument("--steps", type=int, default=2, help="batches to average over")
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="seed for all stochastic paths"
+    )
+    _add_dynamics_args(sweep)
+    _add_backend_args(sweep)
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured SweepResult (points, results, meta) as JSON",
+    )
+
     experiment = sub.add_parser("experiment", help="regenerate one paper table/figure")
     experiment.add_argument(
-        "name", choices=list(available_experiments()), help="experiment identifier"
+        "name",
+        choices=list(available_experiments()) + sorted(experiment_aliases()),
+        metavar="name",
+        help="experiment identifier (run `repro list` for the catalogue; "
+        "module-basename aliases such as fig09_scalability also work)",
     )
     experiment.add_argument(
         "--seed",
@@ -187,17 +275,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the experiment's sampling/dynamics seed (if it takes one)",
     )
+    _add_backend_args(experiment, for_experiment=True)
     experiment.add_argument(
         "--json",
         action="store_true",
         help="emit the structured ExperimentResult as JSON instead of a table",
     )
 
+    trace = sub.add_parser(
+        "trace", help="export one strategy's simulated timeline as Chrome-trace JSON"
+    )
+    trace.add_argument(
+        "strategy", choices=list(available_strategies()), help="strategy to trace"
+    )
+    _add_config_args(trace)
+    trace.add_argument(
+        "--phase",
+        default="forward",
+        choices=["forward", "backward"],
+        help="which layer pass to trace",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write Chrome-trace JSON here and print a summary "
+        "(default: print the JSON to stdout)",
+    )
+
     sub.add_parser(
         "dynamics", help="list recovery policies and perturbation model knobs"
     )
     sub.add_parser(
-        "list", help="list registered models, datasets, strategies and experiments"
+        "list",
+        help="list registered models, datasets, strategies, experiments, "
+        "recovery policies and execution backends",
     )
     return parser
 
@@ -316,16 +428,158 @@ def run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_sweep_cmd(args: argparse.Namespace) -> int:
+    """Execute the ``sweep`` subcommand."""
+    from repro.data.distributions import available_distributions
+    from repro.exec import SweepSpec, run_sweep
+    from repro.model.spec import get_model
+
+    try:
+        get_model(args.model)
+        for gpus in args.gpus:
+            check_positive("num_gpus", gpus)
+            if gpus % 8 != 0:
+                raise ValueError("num_gpus must be a multiple of 8 (8-GPU nodes)")
+        for context_k in args.context_k:
+            check_positive("total_context", context_k * 1024)
+        check_positive("tensor_parallel", args.tensor_parallel)
+        known = set(available_distributions())
+        for dataset in args.datasets:
+            if dataset not in known:
+                raise ValueError(
+                    f"unknown dataset {dataset!r}; available: {', '.join(sorted(known))}"
+                )
+        check_positive("steps", args.steps)
+        check_positive("iterations", args.iterations)
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        perturbation = _perturbation(args)
+    except (ValueError, KeyError) as exc:
+        return _config_error(exc)
+
+    spec = SweepSpec(
+        base={
+            "model": args.model,
+            "tensor_parallel": args.tensor_parallel,
+            "num_steps": args.steps,
+            "seed": args.seed,
+            "strategy_kwargs": {},
+            "label": None,
+            "perturbation": None if perturbation is None else perturbation.to_dict(),
+            "recovery": args.recovery,
+            "num_iterations": args.iterations,
+        },
+        axes={
+            "cluster_preset": tuple(args.clusters),
+            "num_gpus": tuple(args.gpus),
+            "total_context": tuple(k * 1024 for k in args.context_k),
+            "dataset": tuple(args.datasets),
+            "strategy": tuple(args.strategies),
+        },
+    )
+    result = run_sweep(
+        spec, backend=args.backend, jobs=args.jobs, cache=not args.no_cache
+    )
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    rate = "goodput" if perturbation is not None else "tokens/second"
+    rows = [
+        [
+            point["cluster_preset"],
+            point["num_gpus"],
+            f"{point['total_context'] // 1024}k",
+            point["dataset"],
+            point["strategy"],
+            round(res.tokens_per_second),
+        ]
+        for point, res in result
+    ]
+    print(render_table(["cluster", "gpus", "context", "dataset", "strategy", rate], rows))
+    meta = result.meta
+    print(
+        f"[{meta['num_points']} points via {meta['backend']} backend "
+        f"(jobs={meta['jobs']}): {meta['cache_hits']} cached, "
+        f"{meta['executed_points']} executed in {meta['wall_time_s']:.2f}s]"
+    )
+    return 0
+
+
+def run_trace(args: argparse.Namespace) -> int:
+    """Execute the ``trace`` subcommand."""
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import summarize_trace
+
+    built = _build_session_config_only(args)
+    if isinstance(built, int):
+        return built
+    session = built
+    strategy = session.strategy(args.strategy)
+    plan = strategy.plan_layer(session.batches[0], phase=args.phase)
+    sim_result = Simulator(record_trace=True).run(plan)
+    trace = sim_result.trace
+    process_name = (
+        f"{args.strategy} {args.phase} layer — {args.model}, "
+        f"{args.gpus} GPUs, cluster {args.cluster}"
+    )
+    payload = trace.to_chrome_json(indent=2, process_name=process_name)
+    if args.out is None:
+        print(payload)
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    summary = summarize_trace(trace)
+    print(f"wrote {args.out} ({len(trace.spans)} spans)")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    rows = [
+        ["makespan_ms", round(sim_result.makespan_s * 1000, 3)],
+        ["attention_ms", round(summary["total_attention_s"] * 1000, 3)],
+        ["intra_comm_ms", round(summary["total_intra_comm_s"] * 1000, 3)],
+        ["inter_comm_ms", round(summary["total_inter_comm_s"] * 1000, 3)],
+    ]
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def _build_session_config_only(args: argparse.Namespace) -> Session | int:
+    """Session for subcommands without dynamics flags, or the error code."""
+    try:
+        session = Session(_session_config(args))
+        session.batches
+    except (ValueError, KeyError) as exc:
+        return _config_error(exc)
+    return session
+
+
 def run_experiment(args: argparse.Namespace) -> int:
     """Execute the ``experiment`` subcommand."""
     entry = get_experiment(args.name)
+    params = inspect.signature(entry.obj).parameters
     kwargs = {}
     if args.seed is not None:
-        if "seed" not in inspect.signature(entry.obj).parameters:
+        if "seed" not in params:
             return _config_error(
                 ValueError(f"experiment {args.name!r} does not take a seed")
             )
         kwargs["seed"] = args.seed
+    # Sweep-execution flags forward only to experiments built on repro.exec;
+    # default values stay silent so plain experiments keep working.
+    supports_exec = "use_cache" in params
+    if supports_exec:
+        if args.jobs is not None and args.jobs < 1:
+            return _config_error(ValueError("--jobs must be >= 1"))
+        kwargs["use_cache"] = not args.no_cache
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
+        if args.jobs is not None:
+            kwargs["jobs"] = args.jobs
+    elif args.backend is not None or args.jobs is not None or args.no_cache:
+        return _config_error(
+            ValueError(
+                f"experiment {args.name!r} does not support sweep execution "
+                "flags (--backend/--jobs/--no-cache)"
+            )
+        )
     if args.json:
         print(entry.obj(**kwargs).to_json(indent=2))
         return 0
@@ -380,6 +634,9 @@ def run_list(args: argparse.Namespace) -> int:
     print("recovery policies:")
     for entry in recovery_entries():
         print(f"  {entry.name:<20} {entry.description}")
+    print("execution backends:")
+    for entry in backend_entries():
+        print(f"  {entry.name:<12} {entry.description}")
     return 0
 
 
@@ -390,7 +647,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": run_run,
         "compare": run_compare,
+        "sweep": run_sweep_cmd,
         "experiment": run_experiment,
+        "trace": run_trace,
         "dynamics": run_dynamics,
         "list": run_list,
     }

@@ -1,0 +1,82 @@
+"""Pluggable sweep execution backends.
+
+A backend maps a list of point payloads to a list of result dicts, in order.
+Backends register with ``@register_backend`` and are selected by name (CLI
+``--backend``/``--jobs``), so new execution substrates (a thread pool, a job
+queue, a remote cluster) plug in without touching the sweep driver:
+
+1. Subclass :class:`ExecutionBackend` and implement ``map(payloads, worker)``.
+2. Decorate it with ``@register_backend("my_backend", description="...")``.
+3. Import the module (or add it to ``_BUILTIN_BACKEND_MODULES`` in
+   :mod:`repro.registry` for lazy discovery).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exec.worker import execute_payload
+from repro.registry import register_backend
+
+Payload = Mapping[str, Any]
+Worker = Callable[[Payload], dict]
+
+
+class ExecutionBackend:
+    """Base class for sweep execution backends."""
+
+    name = "abstract"
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map(self, payloads: Sequence[Payload], worker: Worker) -> list[dict]:
+        """Execute every payload, returning result dicts in payload order.
+
+        ``worker`` is the in-process worker closure (it may carry a session
+        pool); backends that cross a process boundary fall back to the
+        module-level :func:`~repro.exec.worker.execute_payload`.
+        """
+        raise NotImplementedError
+
+
+@register_backend(
+    "serial", description="in-process sequential execution (default)"
+)
+class SerialBackend(ExecutionBackend):
+    """Run every point sequentially in the calling process."""
+
+    name = "serial"
+
+    def map(self, payloads: Sequence[Payload], worker: Worker) -> list[dict]:
+        return [worker(payload) for payload in payloads]
+
+
+@register_backend(
+    "process", description="parallel execution via a multiprocessing pool (--jobs N)"
+)
+class ProcessBackend(ExecutionBackend):
+    """Fan points out over a ``multiprocessing`` pool of ``jobs`` workers.
+
+    Child workers run the module-level worker against their own per-process
+    session pool, so each worker still reuses sessions and plan caches across
+    the points it executes.  Results come back in point order.
+    """
+
+    name = "process"
+
+    def map(self, payloads: Sequence[Payload], worker: Worker) -> list[dict]:
+        jobs = min(self.jobs, len(payloads))
+        if jobs <= 1:
+            return [worker(payload) for payload in payloads]
+        # The platform default start method: fork on Linux (cheap, inherits
+        # runtime registrations), spawn where fork is unsafe or unavailable
+        # (macOS, Windows).  On spawn platforms, strategies/backends
+        # registered at runtime (e.g. in a __main__ block) must be importable
+        # by child processes to be visible there.
+        ctx = multiprocessing.get_context(multiprocessing.get_start_method())
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(execute_payload, [dict(p) for p in payloads], chunksize=1)

@@ -1,0 +1,107 @@
+"""Content-hash result cache for sweep points.
+
+Each cached entry is one simulated point, keyed by the SHA-256 of the point's
+canonical JSON (:meth:`SweepPoint.canonical_json` — execution-relevant fields
+only, sorted keys) salted with a code-version string, and stored as a small
+JSON file under ``.repro_cache/``.  Re-running a sweep with one axis changed
+therefore touches only the new points; bumping ``repro.__version__`` or
+:data:`CACHE_SCHEMA_VERSION` invalidates every entry at once.
+
+The default cache directory is ``.repro_cache`` in the working directory,
+overridable with the ``REPRO_CACHE_DIR`` environment variable or an explicit
+path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exec.spec import SweepPoint
+
+# Bump when the result schema or simulation semantics change in a way the
+# package version does not capture (e.g. during development).
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cache_salt() -> str:
+    """Code-version salt mixed into every cache key."""
+    import repro
+
+    return f"{repro.__version__}/{CACHE_SCHEMA_VERSION}"
+
+
+def point_key(point: SweepPoint, salt: str | None = None) -> str:
+    """Content hash identifying a point's simulation outcome."""
+    salt = cache_salt() if salt is None else salt
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(point.canonical_json().encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """File-per-entry result cache under a root directory."""
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached result dict for ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses (and will be
+        overwritten by the next :meth:`put`).
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            return entry["result"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, key: str, point: dict[str, Any], result: dict[str, Any]) -> None:
+        """Store one point's result; writes are atomic (tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"salt": cache_salt(), "point": point, "result": result}
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def as_cache(cache: "bool | str | Path | ResultCache | None") -> ResultCache | None:
+    """Normalise the ``cache=`` argument of the sweep driver."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,162 @@
+"""Structured sweep results: point configs + per-point run results + meta.
+
+:class:`SweepResult` pairs every expanded :class:`~repro.exec.spec.SweepPoint`
+with its :class:`~repro.results.RunResult` /
+:class:`~repro.results.ResilienceResult`, carries an observability ``meta``
+mapping (backend, jobs, cache hits/misses, wall time), and offers the
+accessors experiment tables are derived from: :meth:`column`, :meth:`pivot`
+and :meth:`groups`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.exec.spec import SweepPoint
+from repro.results import CompareResult, ResilienceResult, RunResult
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep with their results, in expansion order.
+
+    Attributes
+    ----------
+    points:
+        The expanded grid points, in execution order.
+    results:
+        One result per point, aligned with ``points``.
+    meta:
+        Execution metadata: ``backend``, ``jobs``, ``num_points``,
+        ``cache_enabled``, ``cache_hits``, ``cache_misses``,
+        ``executed_points`` and ``wall_time_s``.
+    """
+
+    points: tuple[SweepPoint, ...]
+    results: "tuple[RunResult | ResilienceResult, ...]"
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.results):
+            raise ValueError(
+                f"{len(self.points)} points but {len(self.results)} results"
+            )
+        if not isinstance(self.meta, MappingProxyType):
+            object.__setattr__(self, "meta", MappingProxyType(dict(self.meta)))
+
+    # -- access -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> "Iterator[tuple[SweepPoint, RunResult | ResilienceResult]]":
+        return iter(zip(self.points, self.results))
+
+    def column(self, name: str) -> list[Any]:
+        """One value per point: an axis value or a result attribute.
+
+        Point fields win on name collisions (``strategy`` reads the axis,
+        which equals the result's key anyway).
+        """
+        out = []
+        for point, result in self:
+            if name in point:
+                out.append(point[name])
+            elif hasattr(result, name):
+                out.append(getattr(result, name))
+            else:
+                raise KeyError(
+                    f"{name!r} is neither a point field nor a result attribute"
+                )
+        return out
+
+    def groups(
+        self, *axes: str
+    ) -> "list[tuple[tuple[Any, ...], SweepResult]]":
+        """Partition into sub-results by the given axes, first-seen order.
+
+        Each group key is the tuple of the axes' values; each group is itself
+        a :class:`SweepResult` (sharing this result's meta), so per-cell
+        comparisons fall out of :meth:`to_compare`.
+        """
+        if not axes:
+            raise ValueError("groups() needs at least one axis name")
+        order: list[tuple[Any, ...]] = []
+        buckets: dict[tuple[Any, ...], list[int]] = {}
+        for i, point in enumerate(self.points):
+            key = tuple(point[a] for a in axes)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(i)
+        return [
+            (
+                key,
+                SweepResult(
+                    points=tuple(self.points[i] for i in buckets[key]),
+                    results=tuple(self.results[i] for i in buckets[key]),
+                    meta=self.meta,
+                ),
+            )
+            for key in order
+        ]
+
+    def pivot(
+        self,
+        index: str | Sequence[str],
+        columns: str,
+        values: str = "tokens_per_second",
+    ) -> dict[Any, dict[Any, Any]]:
+        """Nested mapping ``index value -> column value -> cell value``.
+
+        ``index`` may be one axis name or a sequence (keys become tuples).
+        Duplicate (index, column) cells raise — the grid axes must identify
+        points uniquely for a pivot to be meaningful.
+        """
+        index_axes = (index,) if isinstance(index, str) else tuple(index)
+        cell_values = self.column(values)
+        table: dict[Any, dict[Any, Any]] = {}
+        for (point, _), value in zip(self, cell_values):
+            key: Any = tuple(point[a] for a in index_axes)
+            if isinstance(index, str):
+                key = key[0]
+            col = point[columns]
+            row = table.setdefault(key, {})
+            if col in row:
+                raise ValueError(
+                    f"duplicate pivot cell ({key!r}, {col!r}); "
+                    "add more index axes"
+                )
+            row[col] = value
+        return table
+
+    def to_compare(
+        self, baseline: str | None = None, config: Mapping[str, Any] | None = None
+    ) -> CompareResult:
+        """Wrap the results as a :class:`CompareResult`.
+
+        ``config`` defaults to the session fields of the first point (useful
+        when the group shares one configuration, as sweep cells do).
+        """
+        if config is None:
+            config = self.points[0].session_fields() if self.points else {}
+        return CompareResult(
+            runs=self.results,
+            baseline=(baseline or "").lower(),
+            config=config,
+        )
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "meta": dict(self.meta),
+            "points": [p.to_dict() for p in self.points],
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

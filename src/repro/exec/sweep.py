@@ -1,0 +1,109 @@
+"""The sweep driver: expand a spec, consult the cache, fan out, collect.
+
+:func:`run_sweep` is the single execution path behind
+:meth:`Session.compare`, :meth:`Session.sweep`, the experiment modules and
+the ``repro sweep`` CLI subcommand.  It expands the grid, short-circuits
+cached points, hands the misses to the selected backend and reassembles
+everything — cached and fresh — into a :class:`SweepResult` in expansion
+order, with cache/backend/timing observability in ``meta``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.exec import worker as _worker
+from repro.exec.backends import ExecutionBackend
+from repro.exec.cache import ResultCache, as_cache, point_key
+from repro.exec.result import SweepResult
+from repro.exec.spec import SweepSpec
+from repro.exec.worker import SessionPool
+from repro.registry import get_backend
+from repro.results import result_from_dict
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None", jobs: int = 1
+) -> ExecutionBackend:
+    """Backend instance from a name, an instance, or ``None``.
+
+    ``None`` selects ``serial`` for one job and ``process`` for several, so
+    ``--jobs 4`` alone is enough to parallelise.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "process" if jobs > 1 else "serial"
+    return get_backend(backend).obj(jobs=jobs)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    backend: "str | ExecutionBackend | None" = None,
+    jobs: int = 1,
+    cache: "bool | str | Path | ResultCache | None" = False,
+    pool: SessionPool | None = None,
+) -> SweepResult:
+    """Execute every point of ``spec`` and collect a :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to expand.
+    backend:
+        Backend name or instance; ``None`` picks ``serial``/``process`` by
+        ``jobs``.
+    jobs:
+        Worker count for backends that parallelise.
+    cache:
+        ``False`` (default) disables caching; ``True`` uses the default
+        ``.repro_cache`` directory (or ``$REPRO_CACHE_DIR``); a path or
+        :class:`ResultCache` selects an explicit store.
+    pool:
+        Optional :class:`SessionPool` for in-process execution — sweeps
+        launched from a :class:`Session` pass a pool rooted there so its
+        batch/plan caches are reused.  Process workers always use their own
+        per-process pool.
+    """
+    start = time.perf_counter()
+    points = spec.points()
+    backend_obj = resolve_backend(backend, jobs=jobs)
+    cache_obj = as_cache(cache)
+
+    result_dicts: list[dict[str, Any] | None] = [None] * len(points)
+    hits = 0
+    keys: list[str | None] = [None] * len(points)
+    if cache_obj is not None:
+        for i, point in enumerate(points):
+            keys[i] = point_key(point)
+            cached = cache_obj.get(keys[i])
+            if cached is not None:
+                result_dicts[i] = cached
+                hits += 1
+
+    pending = [i for i in range(len(points)) if result_dicts[i] is None]
+    if pending:
+        payloads = [points[i].to_dict() for i in pending]
+        executed = backend_obj.map(
+            payloads, lambda payload: _worker.execute_payload(payload, pool=pool)
+        )
+        for i, result in zip(pending, executed):
+            result_dicts[i] = result
+            if cache_obj is not None and keys[i] is not None:
+                cache_obj.put(keys[i], points[i].to_dict(), result)
+
+    results = tuple(result_from_dict(d) for d in result_dicts)
+    meta = {
+        "backend": backend_obj.name,
+        "jobs": backend_obj.jobs,
+        "num_points": len(points),
+        "cache_enabled": cache_obj is not None,
+        "cache_hits": hits,
+        "cache_misses": len(pending),
+        "executed_points": len(pending),
+        "wall_time_s": round(time.perf_counter() - start, 6),
+    }
+    return SweepResult(points=points, results=results, meta=meta)

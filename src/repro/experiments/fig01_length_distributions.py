@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.distributions import FIG1_DISTRIBUTIONS
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 
@@ -25,6 +26,7 @@ def run(samples_per_dataset: int = 20000, seed: int = 0) -> ExperimentResult:
     samples_per_dataset:
         Number of sequence lengths drawn per dataset for the empirical check.
     """
+    grid = SweepSpec(axes={"dataset": tuple(FIG1_DISTRIBUTIONS)})
     bins = next(iter(FIG1_DISTRIBUTIONS.values())).bins
     headers = ["dataset"] + [b.label for b in bins] + ["empirical_max_abs_err"]
     result = ExperimentResult(
@@ -33,7 +35,9 @@ def run(samples_per_dataset: int = 20000, seed: int = 0) -> ExperimentResult:
         headers=headers,
     )
     rng = np.random.default_rng(seed)
-    for name, dist in FIG1_DISTRIBUTIONS.items():
+    for point in grid:
+        name = point["dataset"]
+        dist = FIG1_DISTRIBUTIONS[name]
         lengths = dist.sample_lengths(samples_per_dataset, rng)
         empirical = []
         for b in dist.bins:

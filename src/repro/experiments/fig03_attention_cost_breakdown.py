@@ -18,6 +18,7 @@ from repro.cluster.presets import cluster_a
 from repro.costs.comm import CommCostModel
 from repro.costs.compute import ComputeCostModel
 from repro.data.distributions import FIG1_DISTRIBUTIONS, LengthDistribution
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.model.spec import get_model
 from repro.registry import register_experiment
@@ -83,6 +84,13 @@ def _bin_costs_ring_cp(
     return out
 
 
+# Scheme name -> per-bin cost function (the declarative grid iterates names).
+_SCHEMES = {
+    "pack+ulysses": _bin_costs_packing,
+    "even-split ring CP": _bin_costs_ring_cp,
+}
+
+
 @register_experiment(
     "fig3", description="Fig. 3 — packing vs even-split CP attention cost shares"
 )
@@ -94,6 +102,7 @@ def run(datasets: tuple[str, ...] = ("arxiv", "github", "stackexchange", "prolon
         peak_flops=cluster.peak_flops_per_gpu, device_type=cluster.device_type
     )
     comm = CommCostModel(cluster)
+    grid = SweepSpec(axes={"dataset": datasets, "scheme": tuple(_SCHEMES)})
 
     headers = [
         "scheme",
@@ -108,24 +117,21 @@ def run(datasets: tuple[str, ...] = ("arxiv", "github", "stackexchange", "prolon
         description="Attention cost distribution by sequence-length bin (64k, 16 GPUs)",
         headers=headers,
     )
-    for dataset in datasets:
+    for point in grid:
+        dataset, scheme = point["dataset"], point["scheme"]
         dist = FIG1_DISTRIBUTIONS[dataset]
-        for scheme, fn in (
-            ("pack+ulysses", _bin_costs_packing),
-            ("even-split ring CP", _bin_costs_ring_cp),
-        ):
-            costs = fn(dist, compute, comm, spec)
-            total = sum(sum(parts.values()) for parts in costs.values())
-            for label, parts in costs.items():
-                result.add_row(
-                    scheme,
-                    dataset,
-                    label,
-                    round(parts["computation"] / total, 4) if total else 0.0,
-                    round(parts["communication"] / total, 4) if total else 0.0,
-                    round(parts["redundant"] / total, 4) if total else 0.0,
-                )
-            result.extra[(scheme, dataset)] = costs
+        costs = _SCHEMES[scheme](dist, compute, comm, spec)
+        total = sum(sum(parts.values()) for parts in costs.values())
+        for label, parts in costs.items():
+            result.add_row(
+                scheme,
+                dataset,
+                label,
+                round(parts["computation"] / total, 4) if total else 0.0,
+                round(parts["communication"] / total, 4) if total else 0.0,
+                round(parts["redundant"] / total, 4) if total else 0.0,
+            )
+        result.extra[(scheme, dataset)] = costs
     return result
 
 

@@ -12,11 +12,16 @@ from __future__ import annotations
 from repro.cluster.presets import cluster_a
 from repro.core.zones import classify_zones, zone_cost_curves
 from repro.data.distributions import TABLE2_DISTRIBUTIONS
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.model.spec import get_model
 from repro.registry import register_experiment
 
-_LENGTHS = [1024 * (2**i) for i in range(0, 7)]  # 1k .. 64k
+# The evaluation grid: sequence lengths 1k..64k, zone shares per dataset.
+_GRID = SweepSpec(
+    axes={"seq_len": tuple(1024 * (2**i) for i in range(0, 7))}
+)
+_LENGTHS = [point["seq_len"] for point in _GRID]
 
 
 @register_experiment(
@@ -58,7 +63,9 @@ def run(model: str = "7b") -> ExperimentResult:
     }
     # Zone occupancy per dataset (token-weighted, by bin midpoint).
     zone_shares = {}
-    for name, dist in TABLE2_DISTRIBUTIONS.items():
+    for point in SweepSpec(axes={"dataset": tuple(TABLE2_DISTRIBUTIONS)}):
+        name = point["dataset"]
+        dist = TABLE2_DISTRIBUTIONS[name]
         shares = {"local": 0.0, "intra_node": 0.0, "inter_node": 0.0}
         total = 0.0
         for b in dist.bins:

@@ -11,7 +11,8 @@ the three datasets.  The paper's observations this experiment checks:
 
 from __future__ import annotations
 
-from repro.api import DEFAULT_COMPARISON, Session
+from repro.api import DEFAULT_COMPARISON
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 
@@ -29,35 +30,43 @@ def run(
     tokens_per_gpu: int = 4096,
     num_steps: int = 2,
     seed: int = 0,
+    backend: str | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> ExperimentResult:
     """Regenerate the Fig. 9 scalability curves."""
+    if any(gpus % 8 != 0 for gpus in gpu_counts):
+        raise ValueError("GPU counts must be multiples of 8")
+    spec = SweepSpec(
+        base={"model": "3b", "cluster_preset": "A", "num_steps": num_steps, "seed": seed},
+        axes={
+            "dataset": datasets,
+            "num_gpus": gpu_counts,
+            "strategy": _STRATEGIES,
+        },
+        derived={"total_context": lambda v: tokens_per_gpu * v["num_gpus"]},
+    )
+    sweep = run_sweep(spec, backend=backend, jobs=jobs, cache=use_cache)
+
     headers = ["dataset", "gpus", "total_context"] + [f"{s}_tok_s" for s in _STRATEGIES]
     result = ExperimentResult(
         name="fig9",
         description="Scalability of LLaMA 3B on Cluster A (4k tokens per GPU)",
         headers=headers,
     )
-    base_session = Session(
-        model="3b", cluster_preset="A", num_steps=num_steps, seed=seed
-    )
-    for dataset in datasets:
-        for gpus in gpu_counts:
-            if gpus % 8 != 0:
-                raise ValueError("GPU counts must be multiples of 8")
-            total_context = tokens_per_gpu * gpus
-            session = base_session.derive(
-                num_gpus=gpus, dataset=dataset, total_context=total_context
-            )
-            comparison = session.compare(_STRATEGIES)
-            result.add_row(
-                dataset,
-                gpus,
-                f"{total_context // 1024}k",
-                *[round(r.tokens_per_second) for r in comparison],
-            )
-            result.extra[(dataset, gpus)] = {
-                s: comparison.get(s).tokens_per_second for s in _STRATEGIES
-            }
+    for (dataset, gpus), cell in sweep.groups("dataset", "num_gpus"):
+        by_strategy = {point["strategy"]: res for point, res in cell}
+        total_context = cell.points[0]["total_context"]
+        result.add_row(
+            dataset,
+            gpus,
+            f"{total_context // 1024}k",
+            *[round(by_strategy[s].tokens_per_second) for s in _STRATEGIES],
+        )
+        result.extra[(dataset, gpus)] = {
+            s: by_strategy[s].tokens_per_second for s in _STRATEGIES
+        }
+    result.extra["sweep_meta"] = dict(sweep.meta)
     return result
 
 

@@ -11,7 +11,8 @@ architectures.  The paper's observations this experiment checks:
 
 from __future__ import annotations
 
-from repro.api import DEFAULT_COMPARISON, Session
+from repro.api import DEFAULT_COMPARISON
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 
@@ -27,8 +28,27 @@ def run(
     num_gpus: int = 32,
     num_steps: int = 2,
     seed: int = 0,
+    backend: str | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> ExperimentResult:
     """Regenerate the Fig. 10 cluster comparison."""
+    spec = SweepSpec(
+        base={
+            "model": "3b",
+            "num_gpus": num_gpus,
+            "total_context": total_context,
+            "num_steps": num_steps,
+            "seed": seed,
+        },
+        axes={
+            "cluster_preset": ("A", "B"),
+            "dataset": datasets,
+            "strategy": _STRATEGIES,
+        },
+    )
+    sweep = run_sweep(spec, backend=backend, jobs=jobs, cache=use_cache)
+
     headers = ["cluster", "dataset"] + [f"{s}_tok_s" for s in _STRATEGIES] + [
         f"{s}_speedup" for s in _STRATEGIES
     ]
@@ -37,27 +57,19 @@ def run(
         description="3B, 128k, 32 GPUs on Cluster A vs Cluster B",
         headers=headers,
     )
-    for cluster in ("A", "B"):
-        for dataset in datasets:
-            session = Session(
-                model="3b",
-                cluster_preset=cluster,
-                num_gpus=num_gpus,
-                dataset=dataset,
-                total_context=total_context,
-                num_steps=num_steps,
-                seed=seed,
-            )
-            comparison = session.compare(_STRATEGIES)
-            result.add_row(
-                cluster,
-                dataset,
-                *[round(r.tokens_per_second) for r in comparison],
-                *[round(comparison.speedup(s), 2) for s in _STRATEGIES],
-            )
-            result.extra[(cluster, dataset)] = {
-                s: comparison.get(s).tokens_per_second for s in _STRATEGIES
-            }
+    for (cluster, dataset), cell in sweep.groups("cluster_preset", "dataset"):
+        by_strategy = {point["strategy"]: res for point, res in cell}
+        baseline = by_strategy[_STRATEGIES[0]].tokens_per_second
+        result.add_row(
+            cluster,
+            dataset,
+            *[round(by_strategy[s].tokens_per_second) for s in _STRATEGIES],
+            *[round(by_strategy[s].tokens_per_second / baseline, 2) for s in _STRATEGIES],
+        )
+        result.extra[(cluster, dataset)] = {
+            s: by_strategy[s].tokens_per_second for s in _STRATEGIES
+        }
+    result.extra["sweep_meta"] = dict(sweep.meta)
     return result
 
 

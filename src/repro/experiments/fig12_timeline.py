@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.api import Session
 from repro.data.datasets import single_sequence_batch, uniform_batch
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 from repro.sim.engine import Simulator
@@ -28,6 +29,21 @@ def _trace_for(strategy, batch):
     plan = strategy.plan_layer(batch, phase="forward")
     sim = Simulator(record_trace=True)
     return sim.run(plan)
+
+
+# The three timeline scenarios, as zipped axes of one declarative grid.
+_SCENARIOS = SweepSpec(
+    axes={
+        "scenario": (
+            "a) TE CP, single 64k sequence",
+            "b) Zeppelin, single 64k sequence",
+            "c) Zeppelin, 16 x 4k sequences",
+        ),
+        "strategy": ("te_cp", "zeppelin", "zeppelin"),
+        "batch": ("single", "single", "many"),
+    },
+    zip_axes=(("scenario", "strategy", "batch"),),
+)
 
 
 @register_experiment(
@@ -43,14 +59,10 @@ def run(total_context: int = 64 * 1024, num_gpus: int = 16) -> ExperimentResult:
         total_context=total_context,
         num_steps=1,
     )
-    single = single_sequence_batch(total_context)
-    many = uniform_batch(num_gpus, total_context // num_gpus)
-
-    scenarios = (
-        ("a) TE CP, single 64k sequence", session.strategy("te_cp"), single),
-        ("b) Zeppelin, single 64k sequence", session.strategy("zeppelin"), single),
-        ("c) Zeppelin, 16 x 4k sequences", session.strategy("zeppelin"), many),
-    )
+    batches = {
+        "single": single_sequence_batch(total_context),
+        "many": uniform_batch(num_gpus, total_context // num_gpus),
+    }
 
     headers = [
         "scenario",
@@ -66,7 +78,10 @@ def run(total_context: int = 64 * 1024, num_gpus: int = 16) -> ExperimentResult:
         description="Attention timeline analysis (3B, 16 GPUs, 64k context)",
         headers=headers,
     )
-    for label, strategy, batch in scenarios:
+    for point in _SCENARIOS:
+        label = point["scenario"]
+        strategy = session.strategy(point["strategy"])
+        batch = batches[point["batch"]]
         sim_result = _trace_for(strategy, batch)
         trace = sim_result.trace
         summary = summarize_trace(trace)

@@ -8,6 +8,10 @@ wall-clock second), restart counts and time lost.  Every (strategy, recovery)
 cell faces the identical, deterministically drawn perturbation schedule, so
 the comparison isolates scheduling + recovery behaviour, not luck.
 
+The grid is one :class:`~repro.exec.SweepSpec` over (MTTF, recovery,
+strategy) with the perturbation config derived per point, so the dynamics
+axis participates in backend fan-out and result caching like any other axis.
+
 Expected shape: goodput degrades as MTTF shrinks; elastic re-partition
 degrades gracefully (keeps running on survivors) while checkpoint-restart
 pays recomputation after every failure; zeppelin's relative advantage over
@@ -16,8 +20,8 @@ the baselines persists under faults.
 
 from __future__ import annotations
 
-from repro.api import Session
 from repro.dynamics.models import PerturbationConfig
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 
@@ -44,8 +48,36 @@ def run(
     num_iterations: int = 24,
     num_steps: int = 2,
     seed: int = 0,
+    backend: str | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> ExperimentResult:
     """Sweep failure rates x recovery policies over the strategy comparison."""
+    spec = SweepSpec(
+        base={
+            "model": model,
+            "num_gpus": num_gpus,
+            "dataset": dataset,
+            "total_context": total_context,
+            "num_steps": num_steps,
+            "seed": seed,
+            "num_iterations": num_iterations,
+        },
+        axes={
+            "mttf_s": mttf_values_s,
+            "recovery": recoveries,
+            "strategy": strategies,
+        },
+        derived={
+            "perturbation": lambda v: PerturbationConfig(
+                mttf_s=v["mttf_s"],
+                straggler_frac=straggler_frac,
+                max_failures=2,
+            ).to_dict()
+        },
+    )
+    sweep = run_sweep(spec, backend=backend, jobs=jobs, cache=use_cache)
+
     headers = [
         "mttf_s",
         "recovery",
@@ -65,40 +97,21 @@ def run(
         ),
         headers=headers,
     )
-    session = Session(
-        model=model,
-        num_gpus=num_gpus,
-        dataset=dataset,
-        total_context=total_context,
-        num_steps=num_steps,
-        seed=seed,
-    )
-    for mttf_s in mttf_values_s:
-        perturbation = PerturbationConfig(
-            mttf_s=mttf_s,
-            straggler_frac=straggler_frac,
-            max_failures=2,
+    for point, res in sweep:
+        mttf_s = point["mttf_s"]
+        result.add_row(
+            "inf" if mttf_s is None else mttf_s,
+            point["recovery"],
+            point["strategy"],
+            round(res.goodput_tokens_per_second),
+            round(res.goodput_fraction, 3),
+            res.restart_count,
+            res.num_failures,
+            round(res.time_lost_s, 1),
+            res.final_num_nodes,
         )
-        for recovery in recoveries:
-            for strategy in strategies:
-                res = session.run(
-                    strategy,
-                    perturbation=perturbation,
-                    recovery=recovery,
-                    num_iterations=num_iterations,
-                )
-                result.add_row(
-                    "inf" if mttf_s is None else mttf_s,
-                    recovery,
-                    strategy,
-                    round(res.goodput_tokens_per_second),
-                    round(res.goodput_fraction, 3),
-                    res.restart_count,
-                    res.num_failures,
-                    round(res.time_lost_s, 1),
-                    res.final_num_nodes,
-                )
-                result.extra[(mttf_s, recovery, strategy)] = res.to_dict()
+        result.extra[(mttf_s, point["recovery"], point["strategy"])] = res.to_dict()
+    result.extra["sweep_meta"] = dict(sweep.meta)
     return result
 
 

@@ -9,6 +9,7 @@ behaviour differences between the datasets.
 from __future__ import annotations
 
 from repro.data.distributions import TABLE2_DISTRIBUTIONS
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 
@@ -18,6 +19,7 @@ from repro.registry import register_experiment
 )
 def run() -> ExperimentResult:
     """Regenerate Table 2 plus derived statistics."""
+    grid = SweepSpec(axes={"dataset": tuple(TABLE2_DISTRIBUTIONS)})
     bins = next(iter(TABLE2_DISTRIBUTIONS.values())).bins
     headers = (
         ["dataset"]
@@ -29,7 +31,9 @@ def run() -> ExperimentResult:
         description="Sequence length distribution of the evaluation datasets",
         headers=headers,
     )
-    for name, dist in TABLE2_DISTRIBUTIONS.items():
+    for point in grid:
+        name = point["dataset"]
+        dist = TABLE2_DISTRIBUTIONS[name]
         probs = [round(b.probability, 3) for b in dist.bins]
         result.add_row(
             name,

@@ -15,6 +15,7 @@ import time
 from repro.api import Session
 from repro.core.plan import TaskKind
 from repro.data.datasets import balanced_case_study_batch, skewed_case_study_batch
+from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
 from repro.registry import register_experiment
 from repro.sim.engine import Simulator
@@ -77,6 +78,7 @@ def run(num_gpus: int = 32, total_context: int = 128 * 1024, seed: int = 0) -> E
         "Balanced": balanced_case_study_batch(total_context, seed=seed),
         "Skewed": skewed_case_study_batch(total_context, seed=seed),
     }
+    grid = SweepSpec(axes={"case": tuple(batches)})
 
     headers = ["component", "balanced_ms_range", "skewed_ms_range"]
     result = ExperimentResult(
@@ -84,7 +86,10 @@ def run(num_gpus: int = 32, total_context: int = 128 * 1024, seed: int = 0) -> E
         description="Cost distribution across ranks (7B, 128k, 4 Cluster C nodes)",
         headers=headers,
     )
-    ranges = {name: _component_ranges(strategy, batch, num_layers) for name, batch in batches.items()}
+    ranges = {
+        point["case"]: _component_ranges(strategy, batches[point["case"]], num_layers)
+        for point in grid
+    }
     for component in ranges["Balanced"]:
         b_lo, b_hi = ranges["Balanced"][component]
         s_lo, s_hi = ranges["Skewed"][component]

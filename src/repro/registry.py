@@ -17,12 +17,14 @@ all read from these registries.
 
 Public helpers:
 
-* :func:`register_strategy` / :func:`register_experiment` — decorators.
-* :func:`get_strategy` / :func:`get_experiment` — name -> entry lookup.
-* :func:`available_strategies` / :func:`available_experiments` — sorted names.
-* :func:`strategy_entries` / :func:`experiment_entries` — full metadata.
-* :func:`unregister_strategy` / :func:`unregister_experiment` — removal
-  (primarily for tests registering throwaway entries).
+* :func:`register_strategy` / :func:`register_experiment` /
+  :func:`register_recovery` / :func:`register_backend` — decorators.
+* :func:`get_strategy` / :func:`get_experiment` / :func:`get_recovery` /
+  :func:`get_backend` — name -> entry lookup (experiments also accept their
+  module-basename aliases, e.g. ``fig09_scalability`` for ``fig9``).
+* ``available_*`` — sorted names; ``*_entries`` — full metadata.
+* ``unregister_*`` — removal (primarily for tests registering throwaway
+  entries).
 """
 
 from __future__ import annotations
@@ -213,9 +215,31 @@ _BUILTIN_RECOVERY_MODULES = {
     "elastic": "repro.dynamics.recovery",
 }
 
+# Built-in sweep execution backend name -> providing module (repro.exec).
+_BUILTIN_BACKEND_MODULES = {
+    "serial": "repro.exec.backends",
+    "process": "repro.exec.backends",
+}
+
+# Long-form aliases (the experiment module basenames) accepted anywhere an
+# experiment name is, e.g. ``repro experiment fig09_scalability``.
+_EXPERIMENT_ALIASES = {
+    "fig01_length_distributions": "fig1",
+    "fig03_attention_cost_breakdown": "fig3",
+    "fig05_zone_boundaries": "fig5",
+    "fig08_end_to_end": "fig8",
+    "fig09_scalability": "fig9",
+    "fig10_cluster_comparison": "fig10",
+    "fig11_ablation": "fig11",
+    "fig12_timeline": "fig12",
+    "table2_dataset_distributions": "table2",
+    "table3_cost_distribution": "table3",
+}
+
 STRATEGIES = Registry("strategy", _BUILTIN_STRATEGY_MODULES)
 EXPERIMENTS = Registry("experiment", _BUILTIN_EXPERIMENT_MODULES)
 RECOVERIES = Registry("recovery policy", _BUILTIN_RECOVERY_MODULES)
+BACKENDS = Registry("execution backend", _BUILTIN_BACKEND_MODULES)
 
 
 def register_strategy(
@@ -236,8 +260,18 @@ def get_strategy(name: str) -> RegistryEntry:
     return STRATEGIES.get(name)
 
 
+def resolve_experiment_name(name: str) -> str:
+    """Canonical registry key for an experiment name or long-form alias."""
+    return _EXPERIMENT_ALIASES.get(name.lower(), name)
+
+
+def experiment_aliases() -> Mapping[str, str]:
+    """Long-form alias -> canonical experiment name."""
+    return dict(_EXPERIMENT_ALIASES)
+
+
 def get_experiment(name: str) -> RegistryEntry:
-    return EXPERIMENTS.get(name)
+    return EXPERIMENTS.get(resolve_experiment_name(name))
 
 
 def available_strategies() -> tuple[str, ...]:
@@ -273,6 +307,29 @@ def available_recoveries() -> tuple[str, ...]:
 
 def recovery_entries() -> tuple[RegistryEntry, ...]:
     return RECOVERIES.entries()
+
+
+def register_backend(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a sweep execution backend by short name."""
+    return BACKENDS.decorator(name, description=description, **metadata)
+
+
+def get_backend(name: str) -> RegistryEntry:
+    return BACKENDS.get(name)
+
+
+def available_backends() -> tuple[str, ...]:
+    return BACKENDS.names()
+
+
+def backend_entries() -> tuple[RegistryEntry, ...]:
+    return BACKENDS.entries()
+
+
+def unregister_backend(name: str) -> None:
+    BACKENDS.unregister(name)
 
 
 def unregister_strategy(name: str) -> None:

@@ -179,6 +179,21 @@ class ResilienceResult:
         return json.dumps(self.to_dict(), indent=indent)
 
 
+def result_from_dict(data: Mapping[str, Any]) -> "RunResult | ResilienceResult":
+    """Rebuild a result from its ``to_dict()`` form.
+
+    Used wherever results cross a serialisation boundary — the process sweep
+    backend (``MappingProxyType`` configs do not pickle) and the on-disk
+    result cache.  Reconstruction is lossless: derived fields emitted by
+    ``to_dict()`` (``goodput_fraction``) are recomputed, not stored.
+    """
+    payload = dict(data)
+    if "goodput_tokens_per_second" in payload:
+        payload.pop("goodput_fraction", None)
+        return ResilienceResult(**payload)
+    return RunResult(**payload)
+
+
 @dataclass(frozen=True)
 class CompareResult:
     """Several strategies measured on identical batches, with a baseline.

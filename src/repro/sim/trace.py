@@ -89,6 +89,56 @@ class Trace:
         """Serialise the trace (e.g. for offline timeline tooling)."""
         return json.dumps(self.to_dicts(), indent=indent)
 
+    def to_chrome_dict(self, process_name: str = "repro simulation") -> dict:
+        """Chrome-trace (``chrome://tracing`` / Perfetto) event form.
+
+        Ranks map to threads of a single process; every span becomes one
+        complete (``"ph": "X"``) event with microsecond timestamps, the task
+        kind as its category, and task id / abort status in ``args``.
+        Aborted spans are tinted via ``cname`` so failures stand out in the
+        timeline.
+        """
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for rank in sorted({s.rank for s in self.spans}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}" if rank >= 0 else "global"},
+                }
+            )
+        for span in self.spans:
+            event = {
+                "name": span.name,
+                "cat": span.kind.value,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 0,
+                "tid": span.rank,
+                "args": {"task_id": span.task_id, "aborted": span.aborted},
+            }
+            if span.aborted:
+                event["cname"] = "terrible"
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(
+        self, indent: int | None = None, process_name: str = "repro simulation"
+    ) -> str:
+        """Serialise for ``chrome://tracing`` / Perfetto (see ``repro trace``)."""
+        return json.dumps(self.to_chrome_dict(process_name=process_name), indent=indent)
+
     @classmethod
     def from_dicts(cls, rows: list[dict]) -> "Trace":
         """Rebuild a trace from :meth:`to_dicts` output."""

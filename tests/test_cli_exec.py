@@ -1,0 +1,148 @@
+"""Tests for the sweep-execution CLI surface (`repro sweep`, experiment flags)."""
+
+import json
+
+import pytest
+
+from repro.cli import CONFIG_ERROR_EXIT_CODE, build_parser, main
+from repro.registry import register_experiment, unregister_experiment
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.model == "7b"
+        assert args.clusters == ["A"]
+        assert args.gpus == [16]
+        assert args.backend is None
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_multi_value_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--gpus", "16", "32", "--datasets", "arxiv", "github",
+             "--backend", "process", "--jobs", "4"]
+        )
+        assert args.gpus == [16, 32]
+        assert args.datasets == ["arxiv", "github"]
+        assert args.backend == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "quantum"])
+
+    def test_experiment_accepts_alias(self):
+        args = build_parser().parse_args(["experiment", "fig09_scalability"])
+        assert args.name == "fig09_scalability"
+
+
+class TestSweepCommand:
+    _SMALL = [
+        "sweep", "--model", "3b", "--context-k", "16", "--steps", "1",
+        "--strategies", "te_cp", "zeppelin", "--no-cache",
+    ]
+
+    def test_table_output_with_meta_line(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "te_cp" in out and "zeppelin" in out
+        assert "tokens/second" in out
+        assert "via serial backend" in out
+
+    def test_json_output_includes_meta(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        meta = payload["meta"]
+        assert meta["backend"] == "serial"
+        assert meta["num_points"] == 2
+        assert "cache_hits" in meta and "wall_time_s" in meta
+        assert len(payload["points"]) == len(payload["results"]) == 2
+        assert payload["results"][0]["tokens_per_second"] > 0
+
+    def test_cached_sweep_round_trip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = [a for a in self._SMALL if a != "--no-cache"] + ["--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["meta"]["cache_misses"] == 2
+        assert second["meta"]["cache_hits"] == 2
+        assert second["meta"]["executed_points"] == 0
+        assert first["results"] == second["results"]
+
+    def test_bad_gpus_exit_2(self, capsys):
+        assert main(["sweep", "--gpus", "12", "--no-cache"]) == CONFIG_ERROR_EXIT_CODE
+        assert "multiple of 8" in capsys.readouterr().err
+
+    def test_bad_axis_values_exit_2(self, capsys):
+        assert main(["sweep", "--context-k", "0", "--no-cache"]) == CONFIG_ERROR_EXIT_CODE
+        assert "total_context" in capsys.readouterr().err
+        assert main(["sweep", "--gpus", "-8", "--no-cache"]) == CONFIG_ERROR_EXIT_CODE
+        assert "num_gpus" in capsys.readouterr().err
+        assert main(
+            ["sweep", "--tensor-parallel", "0", "--no-cache"]
+        ) == CONFIG_ERROR_EXIT_CODE
+        assert "tensor_parallel" in capsys.readouterr().err
+
+    def test_unknown_dataset_exit_2(self, capsys):
+        code = main(["sweep", "--datasets", "nope", "--no-cache"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "nope" in capsys.readouterr().err
+
+    def test_dynamics_axis_reports_goodput(self, capsys):
+        code = main(
+            self._SMALL + ["--straggler-frac", "0.25", "--iterations", "4"]
+        )
+        assert code == 0
+        assert "goodput" in capsys.readouterr().out
+
+
+class TestExperimentExecutionFlags:
+    @pytest.fixture
+    def recording(self):
+        calls = []
+
+        @register_experiment("_cli_exec_probe", description="probe")
+        def probe(seed: int = 0, backend=None, jobs: int = 1, use_cache: bool = False):
+            from repro.experiments.common import ExperimentResult
+
+            calls.append({"seed": seed, "backend": backend, "jobs": jobs,
+                          "use_cache": use_cache})
+            return ExperimentResult(
+                name="probe", description="d", headers=["x"], rows=[[1]]
+            )
+
+        yield calls
+        unregister_experiment("_cli_exec_probe")
+
+    def test_flags_forwarded(self, recording, capsys):
+        code = main(
+            ["experiment", "_cli_exec_probe", "--backend", "process", "--jobs", "2"]
+        )
+        assert code == 0
+        assert recording == [
+            {"seed": 0, "backend": "process", "jobs": 2, "use_cache": True}
+        ]
+
+    def test_cache_on_by_default_and_no_cache_disables(self, recording, capsys):
+        assert main(["experiment", "_cli_exec_probe"]) == 0
+        assert main(["experiment", "_cli_exec_probe", "--no-cache"]) == 0
+        assert [c["use_cache"] for c in recording] == [True, False]
+
+    def test_exec_flags_rejected_for_plain_experiments(self, capsys):
+        code = main(["experiment", "table2", "--jobs", "2"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "sweep execution" in capsys.readouterr().err
+
+    def test_plain_experiment_without_flags_still_works(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "arxiv" in capsys.readouterr().out
+
+
+class TestListBackends:
+    def test_list_shows_execution_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "execution backends:" in out
+        assert "serial" in out and "process" in out

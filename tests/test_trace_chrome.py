@@ -1,0 +1,91 @@
+"""Tests for the Chrome-trace exporter and the `repro trace` subcommand."""
+
+import json
+
+import pytest
+
+from repro.core.plan import TaskKind
+from repro.sim.trace import Trace, TraceSpan
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add(TraceSpan(0, "attn[0]", TaskKind.ATTENTION, rank=0, start_s=0.0, end_s=0.5))
+    t.add(TraceSpan(1, "send[0>1]", TaskKind.INTER_COMM, rank=1, start_s=0.5, end_s=0.75))
+    t.add(
+        TraceSpan(
+            2, "attn[1]", TaskKind.ATTENTION, rank=1, start_s=0.75, end_s=0.9, aborted=True
+        )
+    )
+    return t
+
+
+class TestChromeExport:
+    def test_complete_events_in_microseconds(self, trace):
+        payload = trace.to_chrome_dict()
+        assert payload["displayTimeUnit"] == "ms"
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        first = events[0]
+        assert first["name"] == "attn[0]"
+        assert first["cat"] == "attention"
+        assert first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(0.5e6)
+        assert first["tid"] == 0 and first["pid"] == 0
+
+    def test_thread_metadata_per_rank(self, trace):
+        payload = trace.to_chrome_dict(process_name="my sim")
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"my sim", "rank 0", "rank 1"} <= names
+
+    def test_aborted_spans_flagged(self, trace):
+        payload = trace.to_chrome_dict()
+        aborted = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["args"]["aborted"]
+        ]
+        assert len(aborted) == 1
+        assert aborted[0]["cname"] == "terrible"
+
+    def test_json_round_trips_through_loads(self, trace):
+        payload = json.loads(trace.to_chrome_json(indent=2))
+        assert "traceEvents" in payload
+
+
+class TestTraceCli:
+    def test_writes_chrome_json_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "timeline.json"
+        code = main(
+            [
+                "trace", "zeppelin",
+                "--model", "3b", "--context-k", "16", "--steps", "1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert events and all("ts" in e and "dur" in e for e in events)
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_prints_json_without_out(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["trace", "te_cp", "--model", "3b", "--context-k", "16", "--steps", "1"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traceEvents"]
+
+    def test_bad_config_exits_2(self, capsys):
+        from repro.cli import CONFIG_ERROR_EXIT_CODE, main
+
+        code = main(["trace", "zeppelin", "--gpus", "12"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "multiple of 8" in capsys.readouterr().err
