@@ -230,6 +230,10 @@ class Session:
         plan = self._plans.get(key)
         if plan is None:
             plan = inner.plan_layer(batch, phase=phase)
+            # Warm the engine's compiled form while the plan enters the cache:
+            # every later simulation of this memoised plan (repeated runs,
+            # sweep points, resilience iterations) reuses one compile.
+            plan.compiled()
             self._plans[key] = plan
         return plan
 

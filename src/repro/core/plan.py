@@ -119,6 +119,7 @@ class ExecutionPlan:
         priority: int = 0,
     ) -> int:
         """Append a task and return its id."""
+        self._compiled = None  # the cached compiled form is now stale
         task_id = len(self.tasks)
         deps = tuple(deps)
         for d in deps:
@@ -140,6 +141,21 @@ class ExecutionPlan:
             )
         )
         return task_id
+
+    # -- compiled form ---------------------------------------------------------
+
+    def compiled(self):
+        """The dense :class:`~repro.sim.compile.CompiledPlan` of this plan.
+
+        Built on first use and cached on the plan object, so every simulation
+        of a memoised plan (session plan caches, sweep pools, resilience
+        iterations) shares one compile.  Appending tasks via :meth:`add`
+        invalidates the cache; direct ``plan.tasks`` mutation that keeps the
+        task count unchanged is not detected.
+        """
+        from repro.sim.compile import compile_plan
+
+        return compile_plan(self)
 
     # -- introspection ---------------------------------------------------------
 

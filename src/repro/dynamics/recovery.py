@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.dynamics.events import NodeFailure, PerturbationSchedule
 from repro.registry import get_recovery, register_recovery
+from repro.sim.engine import Simulator
 from repro.training.iteration import simulate_iteration
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -215,6 +216,10 @@ def run_resilient(
     # condition changes only at perturbation onsets and failures, so nearly
     # every iteration is a cache hit.
     iteration_cache: dict[tuple, float] = {}
+    # One simulator serves every cache miss; the plans it re-times come out of
+    # the session plan caches with their CompiledPlan already built, so a
+    # resilience run compiles each (strategy, batch, phase, nodes) plan once.
+    simulator = Simulator(record_trace=False)
 
     def iteration_time(nodes: int, batch_index: int, clock: float) -> float:
         factors = schedule.active_factors(clock, session.cluster)
@@ -230,7 +235,7 @@ def run_resilient(
         strat = sess.strategy(strategy, **strategy_kwargs)
         events = schedule.active_resource_events(clock, session.cluster)
         result = simulate_iteration(
-            strat, batches[batch_index], record_trace=False, events=events
+            strat, batches[batch_index], simulator=simulator, events=events
         )
         iteration_cache[key] = result.iteration_time_s
         return result.iteration_time_s

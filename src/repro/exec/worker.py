@@ -6,7 +6,11 @@ resolves each point's session through a :class:`SessionPool`, which builds one
 :class:`~repro.api.Session` per distinct configuration (cluster, model,
 dataset...) and reuses it — so all points sharing a configuration also share
 its sampled batches and per-(strategy, batch, phase) plan cache, exactly like
-repeated :meth:`Session.compare` calls do.
+repeated :meth:`Session.compare` calls do.  Because the engine's
+:class:`~repro.sim.compile.CompiledPlan` is cached on each plan object, that
+sharing also amortises plan compilation: only the first point simulating a
+given (strategy, batch, phase) pays the compile, every other point goes
+straight to the hot loop.
 """
 
 from __future__ import annotations

@@ -9,12 +9,15 @@ running concurrently, exactly as it does with CUDA streams and NCCL channels
 on real hardware.
 """
 
+from repro.sim.compile import CompiledPlan, compile_plan
 from repro.sim.engine import Simulator, SimulationResult, simulate
 from repro.sim.events import ResourceEvent
 from repro.sim.trace import Trace, TraceSpan, summarize_trace
 from repro.sim.visualize import render_timeline, timeline_summary_lines
 
 __all__ = [
+    "CompiledPlan",
+    "compile_plan",
     "Simulator",
     "SimulationResult",
     "simulate",

@@ -1,0 +1,128 @@
+"""Precompiled plan representation for the discrete-event engine.
+
+An :class:`~repro.core.plan.ExecutionPlan` is a list of task objects holding
+string resource names and per-task dependency tuples — convenient to build,
+slow to simulate: every engine step would hash strings, chase attributes and
+re-derive the dependency fan-out.  :class:`CompiledPlan` lowers the plan once
+into dense integer form:
+
+* resource names are *interned* to dense ids (``0..num_resources-1``), so the
+  engine's busy/speed/alive state is plain array indexing;
+* each task's resources become a tuple of those ids;
+* the dependent edges (who becomes ready when I finish) are flattened into a
+  CSR-style pair of arrays (``dependents_indptr`` / ``dependents_ids``);
+* the dispatch tie-break key ``(priority, task_id)`` is precomputed per task.
+
+Compilation runs :meth:`ExecutionPlan.validate` once, so the engine itself
+never re-validates.  The result is cached on the plan object (invalidated by
+:meth:`ExecutionPlan.add`); because :class:`repro.api.Session` memoises plans
+per (strategy, batch, phase) and ``repro.exec``'s ``SessionPool`` shares
+sessions across sweep points, one compile is amortised over every re-simulation
+of that plan — warm sweep points and resilience iterations skip straight to
+the hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Dense, engine-ready form of one :class:`ExecutionPlan`.
+
+    All arrays are indexed by ``task_id`` (or resource id where noted); the
+    original plan stays reachable as :attr:`plan` for trace attribution and
+    result reporting.
+    """
+
+    plan: ExecutionPlan
+    num_tasks: int
+    # -- interned resources -----------------------------------------------------
+    resource_names: tuple[str, ...]  # dense id -> name
+    resource_index: dict[str, int]  # name -> dense id
+    # -- per-task columns -------------------------------------------------------
+    durations: tuple[float, ...]
+    task_resources: tuple[tuple[int, ...], ...]  # resource ids held by each task
+    dispatch_keys: tuple[tuple[int, int], ...]  # (priority, task_id)
+    dep_counts: tuple[int, ...]  # number of dependencies per task
+    # -- dependent adjacency, CSR-flattened -------------------------------------
+    dependents_indptr: tuple[int, ...]  # len == num_tasks + 1
+    dependents_ids: tuple[int, ...]  # concatenated dependents of each task
+    # -- initial state ----------------------------------------------------------
+    initial_ready: tuple[int, ...]  # zero-dependency tasks, in id order
+
+    @property
+    def num_resources(self) -> int:
+        return len(self.resource_names)
+
+    def dependents_of(self, task_id: int) -> tuple[int, ...]:
+        """The tasks unblocked (in part) by ``task_id`` finishing."""
+        lo = self.dependents_indptr[task_id]
+        hi = self.dependents_indptr[task_id + 1]
+        return self.dependents_ids[lo:hi]
+
+
+def compile_plan(plan: ExecutionPlan) -> CompiledPlan:
+    """Lower ``plan`` to a :class:`CompiledPlan`, reusing the cached compile.
+
+    The cache lives on the plan object itself (``plan._compiled``); it is
+    dropped whenever :meth:`ExecutionPlan.add` appends a task, and a stale
+    entry from direct ``plan.tasks`` mutation is detected by task count.
+    Callers normally go through :meth:`ExecutionPlan.compiled`.
+    """
+    cached = getattr(plan, "_compiled", None)
+    if cached is not None and cached.num_tasks == len(plan.tasks):
+        return cached
+    compiled = _compile(plan)
+    plan._compiled = compiled
+    return compiled
+
+
+def _compile(plan: ExecutionPlan) -> CompiledPlan:
+    plan.validate()
+    tasks = plan.tasks
+    n = len(tasks)
+
+    resource_index: dict[str, int] = {}
+    task_resources: list[tuple[int, ...]] = []
+    for task in tasks:
+        ids = []
+        for name in task.resources:
+            rid = resource_index.get(name)
+            if rid is None:
+                rid = len(resource_index)
+                resource_index[name] = rid
+            ids.append(rid)
+        task_resources.append(tuple(ids))
+
+    dep_counts = [len(t.deps) for t in tasks]
+    # CSR flatten of the dependent edges: one counting pass, one fill pass.
+    indptr = [0] * (n + 1)
+    for task in tasks:
+        for d in task.deps:
+            indptr[d + 1] += 1
+    for i in range(n):
+        indptr[i + 1] += indptr[i]
+    dependents = [0] * indptr[n]
+    cursor = list(indptr)
+    for task in tasks:
+        for d in task.deps:
+            dependents[cursor[d]] = task.task_id
+            cursor[d] += 1
+
+    return CompiledPlan(
+        plan=plan,
+        num_tasks=n,
+        resource_names=tuple(resource_index),
+        resource_index=resource_index,
+        durations=tuple(t.duration_s for t in tasks),
+        task_resources=tuple(task_resources),
+        dispatch_keys=tuple((t.priority, t.task_id) for t in tasks),
+        dep_counts=tuple(dep_counts),
+        dependents_indptr=tuple(indptr),
+        dependents_ids=tuple(dependents),
+        initial_ready=tuple(t.task_id for t in tasks if not t.deps),
+    )

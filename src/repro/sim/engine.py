@@ -15,19 +15,32 @@ speed factor over the resources it holds; when a factor changes mid-task the
 remaining work is re-timed at the new rate, and when a resource fails every
 in-flight task holding it is aborted (recorded in the trace with
 ``aborted=True``) while tasks that require a dead resource are stranded and
-never start.  With no events the dynamic path reproduces the static path's
-makespans bit for bit.
+never start.
+
+There is ONE engine core: the static case is simply the dynamic case with an
+empty event schedule (speeds stay 1.0, nothing dies), so both produce
+bit-identical makespans by construction.  The core runs over the plan's
+:class:`~repro.sim.compile.CompiledPlan` — interned resource ids backing plain
+``busy``/``speed``/``alive`` arrays, CSR dependent adjacency, and precomputed
+``(priority, task_id)`` dispatch keys.  Dispatch is *indexed*: a task blocked
+on a busy resource parks in that resource's waiter list and is only
+reconsidered when the resource actually frees, so an event touches the tasks
+it can unblock instead of re-sorting the whole ready set.  Same-timestamp
+events are drained by exact comparison on the pushed completion times (an
+absolute epsilon would mis-merge distinct events once the simulation clock
+grows past the point where one ulp exceeds it).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Sequence
 
-from repro.core.plan import ExecutionPlan, Task
-from repro.sim.events import EventQueue, ResourceEvent
-from repro.sim.trace import Trace, TraceSpan
+from repro.core.plan import ExecutionPlan
+from repro.sim.compile import CompiledPlan, compile_plan
+from repro.sim.events import FINISH, PERTURB, ResourceEvent, compile_resource_events
+from repro.sim.trace import Trace
 
 
 @dataclass
@@ -35,8 +48,8 @@ class SimulationResult:
     """Outcome of simulating one plan.
 
     ``aborted_task_ids``/``stranded_task_ids``/``failed_resources`` are only
-    populated by the dynamic path when a resource failure interrupts the plan;
-    ``failed`` is then true and ``makespan_s`` covers the work that did finish.
+    populated when a resource failure interrupts the plan; ``failed`` is then
+    true and ``makespan_s`` covers the work that did finish.
     """
 
     makespan_s: float
@@ -65,8 +78,10 @@ class SimulationResult:
 class Simulator:
     """Executes plans over exclusive resources.
 
-    The simulator is stateless between :meth:`run` calls; resources are derived
-    from the plan itself (any resource name a task mentions).
+    The simulator is stateless between :meth:`run` calls; all per-plan
+    precomputation lives in the :class:`CompiledPlan` cached on the plan, so
+    re-simulating a memoised plan (sweeps, resilience iterations) skips
+    straight to the event loop.
     """
 
     def __init__(self, record_trace: bool = True) -> None:
@@ -74,7 +89,7 @@ class Simulator:
 
     def run(
         self,
-        plan: ExecutionPlan,
+        plan: ExecutionPlan | CompiledPlan,
         events: Sequence[ResourceEvent] | None = None,
         start_time_s: float = 0.0,
     ) -> SimulationResult:
@@ -83,185 +98,66 @@ class Simulator:
         Parameters
         ----------
         plan:
-            The task graph to execute.
+            The task graph to execute — an :class:`ExecutionPlan` (compiled on
+            first use, cached on the plan) or an already-compiled plan.
         events:
             Optional resource perturbations (slowdowns / failures).  ``None``
-            selects the static fast path; an empty sequence runs the dynamic
-            path and yields identical makespans.
+            and an empty sequence are equivalent: the engine is one core and
+            a run without perturbations is bit-identical either way.
         start_time_s:
             Absolute time the plan starts at; event times are interpreted
             relative to it (events at or before the start set the initial
             resource state).
         """
-        if events is not None:
-            return self._run_dynamic(plan, events, start_time_s)
-        plan.validate()
-        tasks = plan.tasks
-        n = len(tasks)
+        cp = plan if isinstance(plan, CompiledPlan) else compile_plan(plan)
+        n = cp.num_tasks
         trace = Trace()
         if n == 0:
-            return SimulationResult(makespan_s=0.0, trace=trace, plan=plan)
+            return SimulationResult(makespan_s=0.0, trace=trace, plan=cp.plan)
 
-        remaining_deps = [len(t.deps) for t in tasks]
-        dependents: list[list[int]] = [[] for _ in range(n)]
-        for t in tasks:
-            for d in t.deps:
-                dependents[d].append(t.task_id)
+        tasks = cp.plan.tasks
+        num_res = cp.num_resources
+        busy = [False] * num_res
+        speed = [1.0] * num_res
+        alive = [True] * num_res
+        any_dead = False
 
-        resource_busy: dict[str, bool] = {}
-        for t in tasks:
-            for r in t.resources:
-                resource_busy.setdefault(r, False)
-
-        # Ready tasks waiting for resources, kept sorted by (priority, id) at
-        # dispatch time.  A simple list is sufficient: the ready set stays small
-        # because dependency chains serialise most of the plan.
-        ready: list[int] = []
-        events = EventQueue()
-        start_times: dict[int, float] = {}
-        end_times: dict[int, float] = {}
-        running: set[int] = set()
-        completed = 0
-        now = 0.0
-
-        def try_start(candidates: list[int]) -> None:
-            """Start every candidate whose resources are free, in priority order."""
-            nonlocal ready
-            candidates.sort(key=lambda tid: (tasks[tid].priority, tid))
-            still_waiting: list[int] = []
-            for tid in candidates:
-                task = tasks[tid]
-                if any(resource_busy[r] for r in task.resources):
-                    still_waiting.append(tid)
-                    continue
-                for r in task.resources:
-                    resource_busy[r] = True
-                start_times[tid] = now
-                running.add(tid)
-                events.push(now + task.duration_s, tid)
-            ready = still_waiting
-
-        for t in tasks:
-            if remaining_deps[t.task_id] == 0:
-                ready.append(t.task_id)
-        try_start(ready)
-
-        if not running and ready:
-            raise RuntimeError("deadlock at time 0: ready tasks cannot acquire resources")
-
-        while events:
-            event = events.pop()
-            now = event.time_s
-            finished = [event.task_id]
-            # Drain all events at the same timestamp before re-dispatching, so
-            # freed resources are assigned to the highest-priority waiter.
-            while events and abs(events._heap[0].time_s - now) < 1e-15:
-                finished.append(events.pop().task_id)
-
-            newly_ready: list[int] = []
-            for tid in finished:
-                task = tasks[tid]
-                running.discard(tid)
-                end_times[tid] = now
-                completed += 1
-                for r in task.resources:
-                    resource_busy[r] = False
-                if self.record_trace:
-                    trace.add(
-                        TraceSpan(
-                            task_id=tid,
-                            name=task.name,
-                            kind=task.kind,
-                            rank=task.rank,
-                            start_s=start_times[tid],
-                            end_s=now,
-                        )
-                    )
-                for dep_tid in dependents[tid]:
-                    remaining_deps[dep_tid] -= 1
-                    if remaining_deps[dep_tid] == 0:
-                        newly_ready.append(dep_tid)
-
-            try_start(ready + newly_ready)
-
-        if completed != n:
-            raise RuntimeError(
-                f"simulation finished with {completed}/{n} tasks completed; "
-                "the plan contains an unsatisfiable dependency"
-            )
-        makespan = max(end_times.values()) if end_times else 0.0
-        return SimulationResult(
-            makespan_s=makespan,
-            trace=trace,
-            plan=plan,
-            start_times=start_times,
-            end_times=end_times,
-        )
-
-    # -- dynamic path (time-varying speeds, failures) ---------------------------
-
-    # Event-kind ordering within one timestamp: completions settle before
-    # perturbations apply, so a task finishing exactly when its resource dies
-    # counts as completed.
-    _FINISH = 0
-    _PERTURB = 1
-
-    def _run_dynamic(
-        self,
-        plan: ExecutionPlan,
-        events: Sequence[ResourceEvent],
-        start_time_s: float,
-    ) -> SimulationResult:
-        """List scheduling under time-varying resource speeds and failures."""
-        plan.validate()
-        tasks = plan.tasks
-        n = len(tasks)
-        trace = Trace()
-        if n == 0:
-            return SimulationResult(makespan_s=0.0, trace=trace, plan=plan)
-
-        remaining_deps = [len(t.deps) for t in tasks]
-        dependents: list[list[int]] = [[] for _ in range(n)]
-        for t in tasks:
-            for d in t.deps:
-                dependents[d].append(t.task_id)
-
-        resource_busy: dict[str, bool] = {}
-        resource_speed: dict[str, float] = {}
-        resource_alive: dict[str, bool] = {}
-        for t in tasks:
-            for r in t.resources:
-                resource_busy.setdefault(r, False)
-                resource_speed.setdefault(r, 1.0)
-                resource_alive.setdefault(r, True)
-
-        # Compile the schedule: apply events at/before the start as initial
-        # state, queue the rest in plan-local time.  Resources the plan never
-        # mentions are irrelevant and dropped.
-        heap: list[tuple[float, int, int, tuple]] = []
+        # The event heap holds flat tuples (time, kind, seq, a, b): completions
+        # are (t, FINISH, seq, task_id, generation), perturbations are
+        # (t, PERTURB, seq, factor, resource_ids).  ``seq`` is a single
+        # monotonic counter, so ties within one (time, kind) pop in push order.
+        heap: list[tuple] = []
         seq = 0
-        for event in sorted(events, key=lambda e: e.time_s):
-            relevant = tuple(r for r in event.resources if r in resource_busy)
-            if not relevant:
-                continue
-            local = event.time_s - start_time_s
-            if local <= 0.0:
-                for r in relevant:
-                    if event.is_failure:
-                        resource_alive[r] = False
+        has_perturbations = False
+        if events:
+            initial, timed = compile_resource_events(
+                events, cp.resource_index, start_time_s
+            )
+            for factor, rids in initial:
+                for rid in rids:
+                    if factor is None:
+                        alive[rid] = False
+                        any_dead = True
                     else:
-                        resource_speed[r] = event.factor
-            else:
-                heapq.heappush(
-                    heap, (local, self._PERTURB, seq, (event.factor, relevant))
-                )
+                        speed[rid] = factor
+            for local, factor, rids in timed:
+                heap.append((local, PERTURB, seq, factor, rids))
                 seq += 1
+            # Entries were appended in sorted (time, seq) order: already a heap.
+            has_perturbations = bool(heap) or any(s != 1.0 for s in speed)
 
-        def task_speed(task: Task) -> float:
-            return min((resource_speed[r] for r in task.resources), default=1.0)
+        durations = cp.durations
+        task_res = cp.task_resources
+        keys = cp.dispatch_keys
+        remaining_deps = list(cp.dep_counts)
+        dep_indptr = cp.dependents_indptr
+        dep_ids = cp.dependents_ids
 
-        ready: list[int] = []
-        stranded: set[int] = set()
+        # Indexed dispatch: a blocked task parks in the waiter list of the
+        # first busy resource that blocked it, and is reconsidered only when
+        # that resource frees.  Every waiting task sits in exactly one list.
+        waiters: list[list[int]] = [[] for _ in range(num_res)]
+
         start_times: dict[int, float] = {}
         end_times: dict[int, float] = {}
         # tid -> [segment start, remaining work (s at speed 1), current speed].
@@ -270,157 +166,180 @@ class Simulator:
         aborted: list[int] = []
         completed = 0
         now = 0.0
+        record_trace = self.record_trace
 
-        def push_completion(tid: int) -> None:
+        def dispatch(candidates: list[int]) -> None:
+            """Start every candidate whose resources are free, in priority order.
+
+            Candidates are the tasks an event batch could have unblocked: the
+            newly dependency-free plus the parked waiters of every resource
+            the batch freed.  Tasks needing a dead resource are dropped here
+            and accounted as stranded in the final sweep.
+            """
             nonlocal seq
-            seg_start, remaining, speed = running[tid]
-            heapq.heappush(
-                heap,
-                (seg_start + remaining / speed, self._FINISH, seq, (tid, generation[tid])),
-            )
-            seq += 1
-
-        def try_start(candidates: list[int]) -> None:
-            """Start every candidate whose resources are free, in priority order."""
-            nonlocal ready
-            candidates.sort(key=lambda tid: (tasks[tid].priority, tid))
-            still_waiting: list[int] = []
+            candidates.sort(key=keys.__getitem__)
             for tid in candidates:
-                task = tasks[tid]
-                if any(not resource_alive[r] for r in task.resources):
-                    stranded.add(tid)
+                res = task_res[tid]
+                startable = True
+                for rid in res:
+                    if not alive[rid]:
+                        startable = False  # stranded: never starts
+                        break
+                    if busy[rid]:
+                        waiters[rid].append(tid)
+                        startable = False
+                        break
+                if not startable:
                     continue
-                if any(resource_busy[r] for r in task.resources):
-                    still_waiting.append(tid)
-                    continue
-                for r in task.resources:
-                    resource_busy[r] = True
+                for rid in res:
+                    busy[rid] = True
                 start_times[tid] = now
-                running[tid] = [now, task.duration_s, task_speed(task)]
-                push_completion(tid)
-            ready = still_waiting
+                if has_perturbations:
+                    rate = min((speed[rid] for rid in res), default=1.0)
+                    finish_at = now + durations[tid] / rate
+                else:
+                    rate = 1.0
+                    finish_at = now + durations[tid]
+                running[tid] = [now, durations[tid], rate]
+                heappush(heap, (finish_at, FINISH, seq, tid, generation[tid]))
+                seq += 1
 
-        for t in tasks:
-            if remaining_deps[t.task_id] == 0:
-                ready.append(t.task_id)
-        try_start(ready)
+        dispatch(list(cp.initial_ready))
 
-        if not running and ready and not heap:
-            raise RuntimeError("deadlock at time 0: ready tasks cannot acquire resources")
+        if not running and not heap and not any_dead:
+            raise RuntimeError(
+                "deadlock at time 0: ready tasks cannot acquire resources"
+            )
 
         while heap:
             now = heap[0][0]
             finished: list[int] = []
             perturbations: list[tuple] = []
-            # Drain all events at this timestamp (completions first, by kind
-            # order) before re-dispatching, so freed resources go to the
-            # highest-priority waiter and same-instant failures see final state.
-            while heap and abs(heap[0][0] - now) < 1e-15:
-                _, kind, _, payload = heapq.heappop(heap)
-                if kind == self._FINISH:
-                    tid, gen = payload
-                    if tid in running and generation[tid] == gen:
-                        finished.append(tid)
+            # Drain all events at this exact timestamp (completions first, by
+            # kind order) before re-dispatching, so freed resources go to the
+            # highest-priority waiter and same-instant failures see final
+            # state.  Comparison is exact on the pushed times: equal
+            # completion instants arise from identical float arithmetic, and
+            # an absolute epsilon would spuriously merge distinct events at
+            # large clocks.
+            while heap and heap[0][0] == now:
+                _, kind, _, a, b = heappop(heap)
+                if kind == FINISH:
+                    if a in running and generation[a] == b:
+                        finished.append(a)
                 else:
-                    perturbations.append(payload)
+                    perturbations.append((a, b))
 
-            newly_ready: list[int] = []
+            candidates: list[int] = []
             for tid in finished:
-                task = tasks[tid]
                 del running[tid]
                 end_times[tid] = now
                 completed += 1
-                for r in task.resources:
-                    resource_busy[r] = False
-                if self.record_trace:
-                    trace.add(
-                        TraceSpan(
-                            task_id=tid,
-                            name=task.name,
-                            kind=task.kind,
-                            rank=task.rank,
-                            start_s=start_times[tid],
-                            end_s=now,
-                        )
+                for rid in task_res[tid]:
+                    busy[rid] = False
+                    freed = waiters[rid]
+                    if freed:
+                        candidates.extend(freed)
+                        waiters[rid] = []
+                if record_trace:
+                    task = tasks[tid]
+                    trace.record(
+                        tid, task.name, task.kind, task.rank,
+                        start_times[tid], now,
                     )
-                for dep_tid in dependents[tid]:
+                for j in range(dep_indptr[tid], dep_indptr[tid + 1]):
+                    dep_tid = dep_ids[j]
                     remaining_deps[dep_tid] -= 1
                     if remaining_deps[dep_tid] == 0:
-                        newly_ready.append(dep_tid)
+                        candidates.append(dep_tid)
 
-            for factor, resources in perturbations:
+            for factor, rids in perturbations:
                 if factor is None:
-                    for r in resources:
-                        resource_alive[r] = False
-                    dead = set(resources)
-                    for tid in [t for t in running if set(tasks[t].resources) & dead]:
-                        task = tasks[tid]
+                    for rid in rids:
+                        alive[rid] = False
+                    any_dead = True
+                    dead = set(rids)
+                    for tid in [
+                        t for t in running if not dead.isdisjoint(task_res[t])
+                    ]:
                         generation[tid] += 1
                         del running[tid]
                         aborted.append(tid)
-                        for r in task.resources:
-                            resource_busy[r] = False
-                        if self.record_trace:
-                            trace.add(
-                                TraceSpan(
-                                    task_id=tid,
-                                    name=task.name,
-                                    kind=task.kind,
-                                    rank=task.rank,
-                                    start_s=start_times[tid],
-                                    end_s=now,
-                                    aborted=True,
-                                )
+                        for rid in task_res[tid]:
+                            busy[rid] = False
+                            freed = waiters[rid]
+                            if freed:
+                                candidates.extend(freed)
+                                waiters[rid] = []
+                        if record_trace:
+                            task = tasks[tid]
+                            trace.record(
+                                tid, task.name, task.kind, task.rank,
+                                start_times[tid], now, aborted=True,
                             )
                 else:
-                    changed = set(resources)
-                    for r in resources:
-                        resource_speed[r] = factor
+                    changed = set(rids)
+                    for rid in rids:
+                        speed[rid] = factor
                     for tid, record in running.items():
-                        task = tasks[tid]
-                        if not changed & set(task.resources):
+                        res = task_res[tid]
+                        if changed.isdisjoint(res):
                             continue
-                        seg_start, remaining, speed = record
-                        remaining = max(0.0, remaining - (now - seg_start) * speed)
+                        seg_start, remaining, rate = record
+                        remaining = max(0.0, remaining - (now - seg_start) * rate)
+                        rate = min((speed[rid] for rid in res), default=1.0)
                         record[0] = now
                         record[1] = remaining
-                        record[2] = task_speed(task)
+                        record[2] = rate
                         generation[tid] += 1
-                        push_completion(tid)
+                        heappush(
+                            heap,
+                            (now + remaining / rate, FINISH, seq, tid, generation[tid]),
+                        )
+                        seq += 1
 
-            try_start(ready + newly_ready)
+            dispatch(candidates)
 
-        failed_resources = tuple(sorted(r for r, alive in resource_alive.items() if not alive))
-        if completed != n and not failed_resources:
-            raise RuntimeError(
-                f"simulation finished with {completed}/{n} tasks completed; "
-                "the plan contains an unsatisfiable dependency"
+        failed_resources: tuple[str, ...] = ()
+        stranded: tuple[int, ...] = ()
+        if any_dead:
+            names = cp.resource_names
+            failed_resources = tuple(
+                sorted(names[rid] for rid in range(num_res) if not alive[rid])
             )
-        # Once the event queue drains, every task that neither completed nor
-        # aborted can never run — it waits on a dead resource or (transitively)
-        # on an aborted task.  Account for the whole stranded subtree, not just
-        # the tasks that became ready.
-        aborted_set = set(aborted)
-        stranded = {
-            t.task_id
-            for t in tasks
-            if t.task_id not in end_times and t.task_id not in aborted_set
-        }
+        if completed != n:
+            if not failed_resources:
+                raise RuntimeError(
+                    f"simulation finished with {completed}/{n} tasks completed; "
+                    "the plan contains an unsatisfiable dependency"
+                )
+            # Once the event queue drains, every task that neither completed
+            # nor aborted can never run — it waits on a dead resource or
+            # (transitively) on an aborted task.  Account for the whole
+            # stranded subtree here; nothing needs tracking during dispatch.
+            aborted_set = set(aborted)
+            stranded = tuple(
+                sorted(
+                    tid
+                    for tid in range(n)
+                    if tid not in end_times and tid not in aborted_set
+                )
+            )
         makespan = max(end_times.values()) if end_times else 0.0
         return SimulationResult(
             makespan_s=makespan,
             trace=trace,
-            plan=plan,
+            plan=cp.plan,
             start_times=start_times,
             end_times=end_times,
             aborted_task_ids=tuple(aborted),
-            stranded_task_ids=tuple(sorted(stranded)),
+            stranded_task_ids=stranded,
             failed_resources=failed_resources,
         )
 
 
 def simulate(
-    plan: ExecutionPlan,
+    plan: ExecutionPlan | CompiledPlan,
     record_trace: bool = True,
     events: Sequence[ResourceEvent] | None = None,
     start_time_s: float = 0.0,

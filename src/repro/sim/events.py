@@ -1,9 +1,28 @@
-"""Event queue primitives for the discrete-event engine."""
+"""Event primitives for the discrete-event engine.
+
+:class:`ResourceEvent` is the engine-level vocabulary of
+:mod:`repro.dynamics`; :func:`compile_resource_events` lowers a schedule of
+them onto a plan's interned resource ids (dropping resources the plan never
+mentions) so the engine's hot loop only ever touches dense integers.
+
+Within one simulated timestamp, event *kinds* are ordered: task completions
+(:data:`FINISH`) settle before perturbations (:data:`PERTURB`) apply, so a
+task finishing exactly when its resource dies counts as completed.
+
+:class:`EventQueue` remains for the frozen reference engine
+(:mod:`repro.sim._reference`) and external callers; the unified engine keeps
+its own flat heap of ``(time, kind, seq, ...)`` tuples.
+"""
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+# Event-kind ordering within one timestamp (heap tuples sort on these).
+FINISH = 0
+PERTURB = 1
 
 
 @dataclass(frozen=True)
@@ -42,6 +61,38 @@ class ResourceEvent:
     @property
     def is_failure(self) -> bool:
         return self.factor is None
+
+
+def compile_resource_events(
+    events: Sequence[ResourceEvent],
+    resource_index: Mapping[str, int],
+    start_time_s: float,
+) -> tuple[
+    list[tuple[float | None, tuple[int, ...]]],
+    list[tuple[float, float | None, tuple[int, ...]]],
+]:
+    """Lower resource events onto a compiled plan's dense resource ids.
+
+    Returns ``(initial, timed)``: ``initial`` holds ``(factor, resource_ids)``
+    for events at or before the simulation start (they set the initial
+    speed/alive state), ``timed`` holds ``(plan_local_time, factor,
+    resource_ids)`` sorted by time.  ``factor is None`` means failure.
+    Events naming only resources the plan never mentions are dropped.
+    """
+    initial: list[tuple[float | None, tuple[int, ...]]] = []
+    timed: list[tuple[float, float | None, tuple[int, ...]]] = []
+    for event in sorted(events, key=lambda e: e.time_s):
+        rids = tuple(
+            resource_index[r] for r in event.resources if r in resource_index
+        )
+        if not rids:
+            continue
+        local = event.time_s - start_time_s
+        if local <= 0.0:
+            initial.append((event.factor, rids))
+        else:
+            timed.append((local, event.factor, rids))
+    return initial, timed
 
 
 @dataclass(order=True)

@@ -1,16 +1,23 @@
 """Execution traces: per-task spans and per-rank timeline accounting (Fig. 12).
 
-The simulator records a :class:`TraceSpan` for every executed task.  The trace
-answers the questions the paper's timeline analysis asks: how long each rank
-spends in attention compute, intra-node communication and inter-node
-communication, how much of the communication is hidden behind compute, and what
-the per-round costs look like.
+The simulator records one span per executed task.  The trace answers the
+questions the paper's timeline analysis asks: how long each rank spends in
+attention compute, intra-node communication and inter-node communication, how
+much of the communication is hidden behind compute, and what the per-round
+costs look like.
+
+Storage is *columnar*: the engine's hot loop appends plain values to parallel
+arrays via :meth:`Trace.record` instead of constructing a :class:`TraceSpan`
+object per task.  ``trace.spans`` materialises the span objects lazily (and
+caches them), so every existing consumer — timeline rendering, Chrome-trace
+export, the Fig. 12 / Table 3 accounting — sees the same list-of-spans API as
+before.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.plan import TaskKind
 
@@ -60,19 +67,82 @@ class TraceSpan:
         )
 
 
-@dataclass
 class Trace:
-    """All spans of one simulated plan."""
+    """All spans of one simulated plan, stored as parallel per-field arrays."""
 
-    spans: list[TraceSpan] = field(default_factory=list)
+    __slots__ = ("_task_ids", "_names", "_kinds", "_ranks", "_starts", "_ends", "_aborted", "_spans")
+
+    def __init__(self, spans: list[TraceSpan] | None = None) -> None:
+        self._task_ids: list[int] = []
+        self._names: list[str] = []
+        self._kinds: list[TaskKind] = []
+        self._ranks: list[int] = []
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._aborted: list[bool] = []
+        self._spans: list[TraceSpan] | None = None
+        for span in spans or ():
+            self.add(span)
+
+    def record(
+        self,
+        task_id: int,
+        name: str,
+        kind: TaskKind,
+        rank: int,
+        start_s: float,
+        end_s: float,
+        aborted: bool = False,
+    ) -> None:
+        """Append one span by columns (the engine's fast path)."""
+        self._spans = None
+        self._task_ids.append(task_id)
+        self._names.append(name)
+        self._kinds.append(kind)
+        self._ranks.append(rank)
+        self._starts.append(start_s)
+        self._ends.append(end_s)
+        self._aborted.append(aborted)
 
     def add(self, span: TraceSpan) -> None:
-        self.spans.append(span)
+        """Append one span object (columnar under the hood)."""
+        self.record(
+            span.task_id, span.name, span.kind, span.rank,
+            span.start_s, span.end_s, span.aborted,
+        )
+
+    @property
+    def spans(self) -> list[TraceSpan]:
+        """The spans as objects, materialised lazily and cached.
+
+        The returned list is a snapshot view — mutate the trace through
+        :meth:`add`/:meth:`record`, not by appending to this list.
+        """
+        if self._spans is None:
+            self._spans = [
+                TraceSpan(
+                    task_id=tid, name=name, kind=kind, rank=rank,
+                    start_s=start, end_s=end, aborted=aborted,
+                )
+                for tid, name, kind, rank, start, end, aborted in zip(
+                    self._task_ids, self._names, self._kinds, self._ranks,
+                    self._starts, self._ends, self._aborted,
+                )
+            ]
+        return self._spans
+
+    def __len__(self) -> int:
+        return len(self._task_ids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.spans == other.spans
 
     @property
     def makespan_s(self) -> float:
         """Wall-clock span of the trace (latest end time)."""
-        return max((s.end_s for s in self.spans), default=0.0)
+        return max(self._ends, default=0.0)
 
     @property
     def aborted_spans(self) -> list[TraceSpan]:
