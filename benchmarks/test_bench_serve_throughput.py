@@ -1,0 +1,90 @@
+"""Benchmark of the serving loop: requests per wall-clock second.
+
+Drives a sustained open-loop workload (hundreds of requests over a small
+strategy mix) through :class:`~repro.serve.driver.ServeSimulation` and
+measures how many requests the serving stack retires per *real* second —
+queueing, batching, cache lookups and the underlying simulations included.
+
+Two regression guards:
+
+* the warm path (plan caches + in-run result cache populated) must clear a
+  conservative requests/sec floor, and
+* caching must collapse the repeated-cell mix to one simulation per distinct
+  cell — the property that makes heavy traffic affordable at all.
+
+CI runs this file as a perf smoke step and uploads the printed table as a
+workflow artifact, so per-PR serving-throughput trajectories stay
+inspectable.
+"""
+
+import time
+
+from repro.api import Session
+from repro.serve.driver import ServeSimulation
+
+RATE_RPS = 100.0
+DURATION_S = 10.0
+MIX = {"zeppelin": 2.0, "te_cp": 1.0, "llama_cp": 1.0}
+
+# Warm requests/sec floor: measured ~20k on the reference laptop; two orders
+# of magnitude of headroom for slow CI machines.
+MIN_WARM_RPS = 200.0
+
+
+def _serve(session):
+    sim = ServeSimulation(
+        session, MIX, rate=RATE_RPS, duration_s=DURATION_S, concurrency=4
+    )
+    return sim.run()
+
+
+def test_bench_serve_throughput(benchmark, printed_results):
+    session = Session(
+        model="3b", num_gpus=16, dataset="arxiv", total_context=32 * 1024, num_steps=1
+    )
+
+    # Cold: first serve pays planning, compilation and one simulation per
+    # distinct cell in the mix.
+    t0 = time.perf_counter()
+    cold = _serve(session)
+    cold_s = time.perf_counter() - t0
+    assert cold.completed == cold.num_requests > 0
+
+    # Caching must collapse repeated cells: one simulation per distinct cell;
+    # every other request joined an in-flight execution or hit the cache.
+    assert cold.simulations == len(MIX)
+    assert cold.cache_hits + cold.batched_requests == cold.completed - len(MIX)
+    assert cold.cache_hits > 0
+
+    # Warm: the session's plan caches are hot; only the serving loop and the
+    # per-run result cache remain (what pytest-benchmark records).
+    benchmark.pedantic(lambda: _serve(session), rounds=3, iterations=1)
+    t0 = time.perf_counter()
+    warm = _serve(session)
+    warm_s = time.perf_counter() - t0
+    assert warm.to_json() == cold.to_json()  # wall time never leaks into results
+
+    warm_rps = warm.completed / warm_s
+    assert warm_rps >= MIN_WARM_RPS, (
+        f"serving-loop regression: {warm_rps:,.0f} requests/s "
+        f"(floor {MIN_WARM_RPS:,.0f})"
+    )
+
+    printed_results.append(
+        "\n".join(
+            [
+                "Serving throughput (open-loop poisson "
+                f"{RATE_RPS:.0f} req/s x {DURATION_S:.0f}s, "
+                f"{len(MIX)}-cell mix, concurrency 4)",
+                f"  requests served       : {warm.completed}",
+                f"  simulations executed  : {warm.simulations} "
+                f"(cache hit rate {warm.cache_hit_rate:.1%})",
+                f"  virtual p50 / p99     : {warm.p50_latency_s * 1e3:.1f} ms / "
+                f"{warm.p99_latency_s * 1e3:.1f} ms",
+                f"  cold serve            : {cold_s * 1e3:9.2f} ms "
+                f"({cold.completed / cold_s:,.0f} req/s)",
+                f"  warm serve            : {warm_s * 1e3:9.2f} ms "
+                f"({warm_rps:,.0f} req/s, floor {MIN_WARM_RPS:,.0f})",
+            ]
+        )
+    )

@@ -20,9 +20,14 @@ Variable-length Workloads in Data Parallel Large Model Training* (EUROSYS
   :class:`~repro.exec.SweepSpec` grids with zip/filter/derived axes,
   pluggable ``serial``/``process`` backends, a content-hash result cache
   under ``.repro_cache/`` and structured :class:`~repro.exec.SweepResult`
-  output, and
+  output,
+* open-loop online serving workloads (:mod:`repro.serve`): seeded arrival
+  processes over a weighted request mix, admission queueing with a
+  concurrency limit, cross-request batching and caching, and
+  latency/goodput metrics in a :class:`~repro.results.ServeResult`, and
 * one experiment module per paper figure/table (:mod:`repro.experiments`),
-  plus the ``fig13_resilience`` fault sweep.
+  plus the ``fig13_resilience`` fault sweep and the ``fig14_serving``
+  load curve.
 
 Quickstart::
 
@@ -58,19 +63,23 @@ from repro.dynamics import PerturbationConfig, PerturbationModel
 from repro.exec import SweepPoint, SweepResult, SweepSpec, run_sweep
 from repro.model.spec import get_model
 from repro.registry import (
+    available_admissions,
+    available_arrivals,
     available_backends,
     available_experiments,
     available_recoveries,
     available_strategies,
+    register_admission,
+    register_arrival,
     register_backend,
     register_experiment,
     register_recovery,
     register_strategy,
 )
-from repro.results import CompareResult, ResilienceResult, RunResult
+from repro.results import CompareResult, ResilienceResult, RunResult, ServeResult
 from repro.training.runner import TrainingRun, TrainingRunConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DEFAULT_COMPARISON",
@@ -92,10 +101,14 @@ __all__ = [
     "SweepSpec",
     "run_sweep",
     "get_model",
+    "available_admissions",
+    "available_arrivals",
     "available_backends",
     "available_experiments",
     "available_recoveries",
     "available_strategies",
+    "register_admission",
+    "register_arrival",
     "register_backend",
     "register_experiment",
     "register_recovery",
@@ -103,6 +116,7 @@ __all__ = [
     "CompareResult",
     "ResilienceResult",
     "RunResult",
+    "ServeResult",
     "TrainingRun",
     "TrainingRunConfig",
     "__version__",

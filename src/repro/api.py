@@ -39,7 +39,7 @@ from repro.data.datasets import SyntheticDataset
 from repro.data.sampler import Batch
 from repro.model.spec import TransformerSpec, get_model
 from repro.registry import get_strategy
-from repro.results import CompareResult, ResilienceResult, RunResult
+from repro.results import CompareResult, ResilienceResult, RunResult, ServeResult
 from repro.utils.validation import check_positive
 
 # The paper's standard comparison order: TE CP is the speedup baseline.
@@ -438,6 +438,29 @@ class Session:
             baseline=(baseline or strategies[0]).lower(),
             config=self.config.to_dict(),
         )
+
+    def serve(self, mix: Any = None, **knobs: Any) -> "ServeResult":
+        """Drive an open-loop serving workload over this session.
+
+        A seeded arrival process (``arrival="poisson"`` at ``rate`` requests
+        per virtual second by default) emits evaluation requests drawn from
+        ``mix`` — a sequence of strategy names, a ``{strategy: weight}``
+        mapping, or :class:`~repro.serve.RequestCell`\\ s with session-field
+        overrides — for ``duration_s`` virtual seconds.  Requests queue under
+        an admission policy with a ``concurrency`` limit; compatible queued
+        requests batch into shared plan executions that reuse this session's
+        plan caches plus an in-run result cache, so repeated cells are
+        near-free.  Returns a :class:`~repro.results.ServeResult` with
+        throughput, goodput, latency percentiles, queue depth over time and
+        the cache hit rate.
+
+        See :class:`repro.serve.ServeSimulation` for every knob (``rate``,
+        ``duration_s``, ``arrival``, ``admission``, ``concurrency``,
+        ``max_batch``, ``cache``, ``slo_s``).
+        """
+        from repro.serve.driver import run_serve
+
+        return run_serve(self, mix, **knobs)
 
     # -- derived sessions and sweeps --------------------------------------------
 

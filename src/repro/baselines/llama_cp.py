@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.core.attention_engine import causal_pairs_between
 from repro.core.chunking import zigzag_assignment
 from repro.core.plan import ExecutionPlan, TaskKind
-from repro.core.strategy import Strategy, StrategyContext
+from repro.core.strategy import Strategy
 from repro.data.sampler import Batch
 from repro.registry import register_strategy
 

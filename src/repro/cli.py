@@ -1,6 +1,6 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Seven subcommands:
+Eight subcommands:
 
 * ``run`` — measure one strategy on one configuration, optionally under
   faults (:mod:`repro.dynamics`)::
@@ -38,11 +38,18 @@ Seven subcommands:
 
       python -m repro trace zeppelin --model 3b --out timeline.json
 
+* ``serve`` — drive an open-loop online serving workload (seeded arrivals,
+  admission queue, request batching) over the simulator and report
+  throughput, goodput, latency percentiles and cache behaviour::
+
+      python -m repro serve --rate 5 --duration 60 --seed 0 --json
+      python -m repro serve --mix zeppelin=3 te_cp=1 --admission priority
+
 * ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
 * ``list`` — show every registered model, dataset, strategy, experiment,
-  recovery policy and execution backend (with descriptions), straight from
-  the registries.
+  recovery policy, execution backend, arrival process and admission policy
+  (with descriptions), straight from the registries.
 
 A single ``--seed`` drives every stochastic path — batch sampling *and* the
 perturbation schedule — so any run is reproducible from one flag.
@@ -66,6 +73,10 @@ from typing import Any, Sequence
 from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
 from repro.registry import (
     RegistryError,
+    admission_entries,
+    arrival_entries,
+    available_admissions,
+    available_arrivals,
     available_backends,
     available_experiments,
     available_recoveries,
@@ -303,13 +314,89 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: print the JSON to stdout)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="drive an open-loop serving workload over the simulator"
+    )
+    _add_config_args(serve)
+    serving = serve.add_argument_group(
+        "serving", "open-loop traffic shape and admission (see `repro list`)"
+    )
+    serving.add_argument(
+        "--rate",
+        type=float,
+        default=10.0,
+        help="mean arrival rate in requests per virtual second",
+    )
+    serving.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="arrival window in virtual seconds (the queue then drains)",
+    )
+    serving.add_argument(
+        "--mix",
+        nargs="+",
+        default=None,
+        metavar="STRATEGY[=WEIGHT]",
+        help="request mix cells, e.g. --mix zeppelin=3 te_cp=1 "
+        "(default: the standard comparison, equal weights)",
+    )
+    serving.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=list(available_arrivals()),
+        help="arrival process drawing the request schedule",
+    )
+    serving.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="FILE",
+        help="JSON list of arrival timestamps (required for --arrival trace)",
+    )
+    serving.add_argument(
+        "--admission",
+        default="fifo",
+        choices=list(available_admissions()),
+        help="admission policy ordering the request queue",
+    )
+    serving.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="maximum concurrent batch executions",
+    )
+    serving.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="maximum requests coalesced into one execution",
+    )
+    serving.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="latency objective; goodput counts only requests meeting it",
+    )
+    serving.add_argument(
+        "--no-request-cache",
+        action="store_true",
+        help="disable the in-run result cache (every batch simulates)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured ServeResult as JSON instead of a table",
+    )
+
     sub.add_parser(
         "dynamics", help="list recovery policies and perturbation model knobs"
     )
     sub.add_parser(
         "list",
         help="list registered models, datasets, strategies, experiments, "
-        "recovery policies and execution backends",
+        "recovery policies, execution backends, arrival processes and "
+        "admission policies",
     )
     return parser
 
@@ -601,6 +688,69 @@ def run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(entries: "Sequence[str] | None") -> "dict[str, float] | None":
+    """Parse ``--mix`` entries (``strategy`` or ``strategy=weight``)."""
+    if entries is None:
+        return None
+    known = [s.lower() for s in available_strategies()]
+    mix: dict[str, float] = {}
+    for entry in entries:
+        name, _, weight = entry.partition("=")
+        name = name.lower()
+        if name not in known:
+            raise ValueError(
+                f"unknown strategy {name!r} in --mix; available: {', '.join(known)}"
+            )
+        mix[name] = float(weight) if weight else 1.0
+    return mix
+
+
+def run_serve_cmd(args: argparse.Namespace) -> int:
+    """Execute the ``serve`` subcommand."""
+    import json as _json
+
+    try:
+        session = Session(_session_config(args))
+        session.batches
+        mix = _parse_mix(args.mix)
+        trace_times = ()
+        if args.arrival == "trace":
+            if args.trace_file is None:
+                raise ValueError("--arrival trace requires --trace-file")
+            with open(args.trace_file, "r", encoding="utf-8") as handle:
+                trace_times = tuple(float(t) for t in _json.load(handle))
+        result = session.serve(
+            mix,
+            rate=args.rate,
+            duration_s=args.duration,
+            arrival=args.arrival,
+            trace_times=trace_times,
+            admission=args.admission,
+            concurrency=args.concurrency,
+            max_batch=args.max_batch,
+            cache=not args.no_request_cache,
+            slo_s=args.slo,
+        )
+    except (ValueError, KeyError, OSError) as exc:
+        return _config_error(exc)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(session.cluster.describe())
+    data = result.to_dict()
+    for skipped in ("config", "mix", "queue_depth_timeline"):
+        data.pop(skipped, None)
+    rows = [[key, value] for key, value in data.items()]
+    print(render_table(["metric", "value"], rows))
+    print(
+        f"[{result.num_requests} requests -> {result.simulations} simulations "
+        f"({result.cache_hits} cached, {result.batched_requests} batched) "
+        f"via {result.arrival}/{result.admission}, "
+        f"concurrency {result.concurrency}]"
+    )
+    return 0
+
+
 def run_dynamics(args: argparse.Namespace) -> int:
     """Execute the ``dynamics`` subcommand."""
     from repro.dynamics.models import PerturbationConfig
@@ -619,24 +769,31 @@ def run_dynamics(args: argparse.Namespace) -> int:
 
 
 def run_list(args: argparse.Namespace) -> int:
-    """Execute the ``list`` subcommand."""
+    """Execute the ``list`` subcommand.
+
+    Every registry renders through the same table: section header, then
+    one ``name description`` row per entry, names padded to a shared width.
+    """
     from repro.data.distributions import available_distributions
     from repro.model.spec import available_models
 
     print("models:   ", ", ".join(available_models()))
     print("datasets: ", ", ".join(available_distributions()))
-    print("strategies:")
-    for entry in strategy_entries():
-        print(f"  {entry.name:<12} {entry.description}")
-    print("experiments:")
-    for entry in experiment_entries():
-        print(f"  {entry.name:<16} {entry.description}")
-    print("recovery policies:")
-    for entry in recovery_entries():
-        print(f"  {entry.name:<20} {entry.description}")
-    print("execution backends:")
-    for entry in backend_entries():
-        print(f"  {entry.name:<12} {entry.description}")
+    sections = (
+        ("strategies", strategy_entries()),
+        ("experiments", experiment_entries()),
+        ("recovery policies", recovery_entries()),
+        ("execution backends", backend_entries()),
+        ("arrival processes", arrival_entries()),
+        ("admission policies", admission_entries()),
+    )
+    width = max(
+        len(entry.name) for _, entries in sections for entry in entries
+    )
+    for title, entries in sections:
+        print(f"{title}:")
+        for entry in entries:
+            print(f"  {entry.name:<{width}}  {entry.description}")
     return 0
 
 
@@ -650,6 +807,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": run_sweep_cmd,
         "experiment": run_experiment,
         "trace": run_trace,
+        "serve": run_serve_cmd,
         "dynamics": run_dynamics,
         "list": run_list,
     }

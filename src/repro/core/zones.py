@@ -163,7 +163,7 @@ def zone_cost_curves(
         intra.append(comm.intra_node_time(kv))
         inter.append(comm.inter_node_time(kv, nics=1))
     return ZoneCostCurves(
-        lengths=tuple(int(l) for l in lengths),
+        lengths=tuple(int(n) for n in lengths),
         attention_compute_s=tuple(attn),
         linear_compute_s=tuple(linear),
         intra_node_comm_s=tuple(intra),

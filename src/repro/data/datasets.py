@@ -62,7 +62,7 @@ def balanced_case_study_batch(total_context: int = 128 * 1024, seed: int = 0) ->
         if b.probability > 0:
             lengths.append(int(rng.integers(b.lo, b.hi)))
     scale = total_context / sum(lengths)
-    scaled = [max(64, int(round(l * scale))) for l in lengths]
+    scaled = [max(64, int(round(n * scale))) for n in lengths]
     # Adjust the longest sequence so the batch hits the budget exactly.
     diff = total_context - sum(scaled)
     longest = max(range(len(scaled)), key=lambda i: scaled[i])
@@ -82,13 +82,13 @@ def skewed_case_study_batch(total_context: int = 128 * 1024, seed: int = 0) -> B
     remaining = total_context - long_len
     lengths = [long_len]
     while remaining > 0:
-        l = int(rng.integers(1024, 4096))
-        l = min(l, remaining)
-        if l < 64:
-            lengths[-1] += l
+        n = int(rng.integers(1024, 4096))
+        n = min(n, remaining)
+        if n < 64:
+            lengths[-1] += n
             break
-        lengths.append(l)
-        remaining -= l
+        lengths.append(n)
+        remaining -= n
     return Batch.from_lengths(lengths, dataset="skewed_case_study")
 
 

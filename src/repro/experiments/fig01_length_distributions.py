@@ -41,7 +41,7 @@ def run(samples_per_dataset: int = 20000, seed: int = 0) -> ExperimentResult:
         lengths = dist.sample_lengths(samples_per_dataset, rng)
         empirical = []
         for b in dist.bins:
-            count = sum(1 for l in lengths if b.contains(l))
+            count = sum(1 for n in lengths if b.contains(n))
             empirical.append(count / len(lengths))
         target = [b.probability for b in dist.bins]
         max_err = max(abs(e - t) for e, t in zip(empirical, target))

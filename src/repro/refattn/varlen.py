@@ -25,15 +25,15 @@ def block_diagonal_causal_mask(lengths: list[int] | tuple[int, ...]) -> np.ndarr
     """
     if not lengths:
         raise ValueError("lengths must be non-empty")
-    for l in lengths:
-        check_positive("length", l)
+    for length in lengths:
+        check_positive("length", length)
     total = sum(lengths)
     mask = np.zeros((total, total), dtype=bool)
     offset = 0
-    for l in lengths:
-        block = np.tril(np.ones((l, l), dtype=bool))
-        mask[offset : offset + l, offset : offset + l] = block
-        offset += l
+    for length in lengths:
+        block = np.tril(np.ones((length, length), dtype=bool))
+        mask[offset : offset + length, offset : offset + length] = block
+        offset += length
     return mask
 
 
@@ -86,10 +86,10 @@ def per_sequence_attention(
         raise ValueError("packed length does not match sum of lengths")
     out = np.zeros((q.shape[0], total, v.shape[-1]), dtype=np.float64)
     offset = 0
-    for l in lengths:
-        sl = slice(offset, offset + l)
+    for length in lengths:
+        sl = slice(offset, offset + length)
         out[:, sl] = causal_attention(q[:, sl], k[:, sl], v[:, sl])
-        offset += l
+        offset += length
     return out
 
 
@@ -104,7 +104,7 @@ def cross_sequence_flops_fraction(lengths: list[int] | tuple[int, ...]) -> float
         return 0.0
     total = sum(lengths)
     naive = total * (total + 1) / 2.0
-    useful = sum(l * (l + 1) / 2.0 for l in lengths)
+    useful = sum(n * (n + 1) / 2.0 for n in lengths)
     if naive == 0:
         return 0.0
     return 1.0 - useful / naive

@@ -18,10 +18,12 @@ all read from these registries.
 Public helpers:
 
 * :func:`register_strategy` / :func:`register_experiment` /
-  :func:`register_recovery` / :func:`register_backend` — decorators.
+  :func:`register_recovery` / :func:`register_backend` /
+  :func:`register_arrival` / :func:`register_admission` — decorators.
 * :func:`get_strategy` / :func:`get_experiment` / :func:`get_recovery` /
-  :func:`get_backend` — name -> entry lookup (experiments also accept their
-  module-basename aliases, e.g. ``fig09_scalability`` for ``fig9``).
+  :func:`get_backend` / :func:`get_arrival` / :func:`get_admission` — name
+  -> entry lookup (experiments also accept their module-basename aliases,
+  e.g. ``fig09_scalability`` for ``fig9``).
 * ``available_*`` — sorted names; ``*_entries`` — full metadata.
 * ``unregister_*`` — removal (primarily for tests registering throwaway
   entries).
@@ -205,6 +207,7 @@ _BUILTIN_EXPERIMENT_MODULES = {
     "fig11": "repro.experiments.fig11_ablation",
     "fig12": "repro.experiments.fig12_timeline",
     "fig13_resilience": "repro.experiments.fig13_resilience",
+    "fig14_serving": "repro.experiments.fig14_serving",
     "table2": "repro.experiments.table2_dataset_distributions",
     "table3": "repro.experiments.table3_cost_distribution",
 }
@@ -219,6 +222,18 @@ _BUILTIN_RECOVERY_MODULES = {
 _BUILTIN_BACKEND_MODULES = {
     "serial": "repro.exec.backends",
     "process": "repro.exec.backends",
+}
+
+# Built-in serving arrival process name -> providing module (repro.serve).
+_BUILTIN_ARRIVAL_MODULES = {
+    "poisson": "repro.serve.arrivals",
+    "trace": "repro.serve.arrivals",
+}
+
+# Built-in serving admission policy name -> providing module (repro.serve).
+_BUILTIN_ADMISSION_MODULES = {
+    "fifo": "repro.serve.queue",
+    "priority": "repro.serve.queue",
 }
 
 # Long-form aliases (the experiment module basenames) accepted anywhere an
@@ -240,6 +255,8 @@ STRATEGIES = Registry("strategy", _BUILTIN_STRATEGY_MODULES)
 EXPERIMENTS = Registry("experiment", _BUILTIN_EXPERIMENT_MODULES)
 RECOVERIES = Registry("recovery policy", _BUILTIN_RECOVERY_MODULES)
 BACKENDS = Registry("execution backend", _BUILTIN_BACKEND_MODULES)
+ARRIVALS = Registry("arrival process", _BUILTIN_ARRIVAL_MODULES)
+ADMISSIONS = Registry("admission policy", _BUILTIN_ADMISSION_MODULES)
 
 
 def register_strategy(
@@ -330,6 +347,52 @@ def backend_entries() -> tuple[RegistryEntry, ...]:
 
 def unregister_backend(name: str) -> None:
     BACKENDS.unregister(name)
+
+
+def register_arrival(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a serving arrival process by short name."""
+    return ARRIVALS.decorator(name, description=description, **metadata)
+
+
+def get_arrival(name: str) -> RegistryEntry:
+    return ARRIVALS.get(name)
+
+
+def available_arrivals() -> tuple[str, ...]:
+    return ARRIVALS.names()
+
+
+def arrival_entries() -> tuple[RegistryEntry, ...]:
+    return ARRIVALS.entries()
+
+
+def unregister_arrival(name: str) -> None:
+    ARRIVALS.unregister(name)
+
+
+def register_admission(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a serving admission policy by short name."""
+    return ADMISSIONS.decorator(name, description=description, **metadata)
+
+
+def get_admission(name: str) -> RegistryEntry:
+    return ADMISSIONS.get(name)
+
+
+def available_admissions() -> tuple[str, ...]:
+    return ADMISSIONS.names()
+
+
+def admission_entries() -> tuple[RegistryEntry, ...]:
+    return ADMISSIONS.entries()
+
+
+def unregister_admission(name: str) -> None:
+    ADMISSIONS.unregister(name)
 
 
 def unregister_strategy(name: str) -> None:

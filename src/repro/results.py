@@ -22,6 +22,24 @@ def _frozen_mapping(value: Mapping[str, Any]) -> Mapping[str, Any]:
     return MappingProxyType(dict(value))
 
 
+def _deep_frozen(value: Any) -> Any:
+    """Recursively freeze mappings and sequences (for nested result fields)."""
+    if isinstance(value, Mapping):
+        return MappingProxyType({k: _deep_frozen(v) for k, v in value.items()})
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_frozen(v) for v in value)
+    return value
+
+
+def _thawed(value: Any) -> Any:
+    """Recursively convert frozen mappings/tuples back to JSON-safe forms."""
+    if isinstance(value, Mapping):
+        return {k: _thawed(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_thawed(v) for v in value]
+    return value
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Measured throughput of one strategy on one configuration.
@@ -179,7 +197,129 @@ class ResilienceResult:
         return json.dumps(self.to_dict(), indent=indent)
 
 
-def result_from_dict(data: Mapping[str, Any]) -> "RunResult | ResilienceResult":
+@dataclass(frozen=True)
+class ServeResult:
+    """Metrics of one open-loop serving run (:mod:`repro.serve`).
+
+    Produced by :meth:`Session.serve` / ``repro serve``.  All timestamps are
+    *virtual* seconds of the serving clock; nothing here depends on
+    wall-clock time, so results are byte-identical across runs of the same
+    configuration and seed.
+
+    Attributes
+    ----------
+    arrival / admission:
+        Registry names of the arrival process and admission policy.
+    concurrency / max_batch:
+        Serving limits: simultaneous executions and requests per batch.
+    seed:
+        The session seed that drove arrivals and mix draws.
+    duration_s / makespan_s:
+        The arrival window and the total virtual time until the queue
+        drained (``makespan_s >= duration_s``).
+    num_requests / completed:
+        Requests that arrived vs. completed (equal — the queue drains).
+    simulations:
+        Fresh plan simulations executed; batching and caching push this far
+        below ``num_requests`` for repetitive mixes.
+    batched_requests / cache_hits / cache_hit_rate:
+        Requests that rode another request's execution, requests answered
+        from the in-run result cache, and the cached fraction of completions.
+    offered_rps / throughput_rps / goodput_rps:
+        Arrival rate over the duration, completions per virtual second of
+        the makespan, and SLO-meeting completions per second (with no
+        ``slo_s`` goodput equals throughput).
+    slo_s:
+        Latency objective a request must meet to count as goodput, if any.
+    mean/p50/p95/p99/max_latency_s:
+        Request latency (completion minus arrival) statistics.
+    mean_queue_depth / max_queue_depth / queue_depth_timeline:
+        Time-weighted mean depth, peak depth, and the ``(time, depth)``
+        change points of the queue over the run.
+    config:
+        The serving session's configuration, as a mapping.
+    mix:
+        The request mix, one mapping per cell (strategy, weight, priority,
+        overrides).
+    """
+
+    arrival: str
+    admission: str
+    concurrency: int
+    max_batch: int
+    seed: int
+    duration_s: float
+    makespan_s: float
+    num_requests: int
+    completed: int
+    simulations: int
+    batched_requests: int
+    cache_hits: int
+    cache_hit_rate: float
+    offered_rps: float
+    throughput_rps: float
+    goodput_rps: float
+    slo_s: float | None
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    queue_depth_timeline: tuple[tuple[float, int], ...] = ()
+    config: Mapping[str, Any] = field(default_factory=dict)
+    mix: tuple[Mapping[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _frozen_mapping(self.config))
+        object.__setattr__(
+            self,
+            "queue_depth_timeline",
+            tuple((float(t), int(d)) for t, d in self.queue_depth_timeline),
+        )
+        object.__setattr__(
+            self, "mix", tuple(_deep_frozen(cell) for cell in self.mix)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "arrival": self.arrival,
+            "admission": self.admission,
+            "concurrency": self.concurrency,
+            "max_batch": self.max_batch,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "makespan_s": self.makespan_s,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "simulations": self.simulations,
+            "batched_requests": self.batched_requests,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "offered_rps": self.offered_rps,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "slo_s": self.slo_s,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "max_latency_s": self.max_latency_s,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depth_timeline": [[t, d] for t, d in self.queue_depth_timeline],
+            "config": dict(self.config),
+            "mix": [_thawed(cell) for cell in self.mix],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def result_from_dict(
+    data: Mapping[str, Any],
+) -> "RunResult | ResilienceResult | ServeResult":
     """Rebuild a result from its ``to_dict()`` form.
 
     Used wherever results cross a serialisation boundary — the process sweep
@@ -188,6 +328,8 @@ def result_from_dict(data: Mapping[str, Any]) -> "RunResult | ResilienceResult":
     ``to_dict()`` (``goodput_fraction``) are recomputed, not stored.
     """
     payload = dict(data)
+    if "throughput_rps" in payload:
+        return ServeResult(**payload)
     if "goodput_tokens_per_second" in payload:
         payload.pop("goodput_fraction", None)
         return ResilienceResult(**payload)

@@ -1,0 +1,60 @@
+"""Open-loop online serving workloads over the planning/simulation stack.
+
+``repro.serve`` turns the compiled-plan engine into a traffic simulator: a
+seeded :class:`~repro.serve.arrivals.ArrivalProcess` emits evaluation
+requests drawn from a weighted :class:`~repro.serve.arrivals.RequestMix` of
+(model, context, strategy) cells; a virtual-time
+:class:`~repro.serve.queue.RequestQueue` admits them under a pluggable
+admission policy and a concurrency limit; the
+:class:`~repro.serve.batcher.Batcher` coalesces compatible queued requests
+into shared plan executions; and the driver
+(:func:`~repro.serve.driver.run_serve`) reuses the
+:class:`~repro.api.Session` plan caches and an in-run result cache so
+repeated cells are near-free.  Metrics (throughput, goodput, latency
+percentiles, queue depth over time, cache hit rate) come back as a frozen
+:class:`~repro.results.ServeResult`.
+
+Entry points: :meth:`repro.api.Session.serve` and the ``repro serve`` CLI
+subcommand.  Arrival processes and admission policies are registry-driven
+(``@register_arrival`` / ``@register_admission``) and listed by
+``repro list``.
+"""
+
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    PoissonArrivals,
+    Request,
+    RequestCell,
+    RequestMix,
+    TraceArrivals,
+    as_arrival,
+    as_mix,
+)
+from repro.serve.batcher import Batcher
+from repro.serve.driver import ServeSimulation, run_serve
+from repro.serve.queue import (
+    AdmissionPolicy,
+    FifoAdmission,
+    PriorityAdmission,
+    RequestQueue,
+    as_admission,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "Request",
+    "RequestCell",
+    "RequestMix",
+    "as_arrival",
+    "as_mix",
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "PriorityAdmission",
+    "RequestQueue",
+    "as_admission",
+    "Batcher",
+    "ServeSimulation",
+    "run_serve",
+]

@@ -1,0 +1,172 @@
+"""The serve driver: a virtual-time loop over arrivals, queue and batcher.
+
+:class:`ServeSimulation` wires the pieces together: it draws the request
+schedule from the arrival process (seeded by the session seed), walks a
+virtual clock over arrival and completion events, dispatches batches while
+the concurrency limit allows, and aggregates everything into a frozen
+:class:`~repro.results.ServeResult`.  The loop is open-loop — arrivals do
+not wait for completions — and fully deterministic: two runs with the same
+session, mix and knobs produce byte-identical results.
+
+:func:`run_serve` is the functional entry point behind
+:meth:`repro.api.Session.serve` and the ``repro serve`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.api import DEFAULT_COMPARISON, Session
+from repro.results import ServeResult
+from repro.serve.arrivals import ArrivalProcess, as_arrival, as_mix
+from repro.serve.batcher import DEFAULT_CACHE_HIT_COST_S, Batcher, ExecutionBatch
+from repro.serve.metrics import QueueDepthTracker, latency_summary, request_counters
+from repro.serve.queue import AdmissionPolicy, RequestQueue
+
+
+class ServeSimulation:
+    """One open-loop serving run over a :class:`~repro.api.Session`.
+
+    After :meth:`run`, :attr:`requests` holds every request with its
+    arrival/start/finish stamps and :attr:`executions` the dispatched
+    batches — the raw material tests and tools can audit (no request starts
+    before it arrives, concurrent executions never exceed the limit...).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        mix: Any = None,
+        *,
+        rate: float = 10.0,
+        duration_s: float = 60.0,
+        arrival: "str | ArrivalProcess | None" = None,
+        admission: "str | AdmissionPolicy | None" = "fifo",
+        concurrency: int = 4,
+        max_batch: int = 8,
+        cache: bool = True,
+        slo_s: float | None = None,
+        cache_hit_cost_s: float = DEFAULT_CACHE_HIT_COST_S,
+        trace_times: Any = (),
+        trace_period: float | None = None,
+    ):
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if slo_s is not None and slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {slo_s}")
+        self.session = session
+        self.mix = as_mix(mix if mix is not None else DEFAULT_COMPARISON)
+        self.arrival = as_arrival(
+            arrival, rate=rate, trace_times=trace_times, trace_period=trace_period
+        )
+        self.duration_s = float(duration_s)
+        self.slo_s = slo_s
+        self.queue = RequestQueue(admission, concurrency=concurrency)
+        self.batcher = Batcher(
+            session,
+            max_batch=max_batch,
+            cache=cache,
+            cache_hit_cost_s=cache_hit_cost_s,
+        )
+        # Validate every cell up front (unknown strategies, bad overrides)
+        # so configuration errors surface before any simulation runs.
+        for cell in self.mix.cells:
+            self.batcher.point_for(cell)
+        self.requests = self.arrival.schedule(
+            self.mix, self.duration_s, seed=session.config.seed
+        )
+        self.executions: list[ExecutionBatch] = []
+        self._result: ServeResult | None = None
+
+    # -- the event loop ----------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        """Simulate the run to completion (idempotent) and return the result.
+
+        Arrivals stop at the duration horizon; the queue then drains, so
+        every request completes and has a defined latency.
+        """
+        if self._result is not None:
+            return self._result
+        tracker = QueueDepthTracker()
+        in_flight: list[tuple[float, int, ExecutionBatch]] = []
+        seq = 0
+        i = 0
+        now = 0.0
+        while True:
+            # Dispatch while a slot is free and requests are queued.
+            while self.queue.can_dispatch(len(in_flight)):
+                head = self.queue.pop()
+                batch = self.batcher.execute(self.batcher.collect(self.queue, head), now)
+                heapq.heappush(in_flight, (batch.finish_s, seq, batch))
+                seq += 1
+                self.executions.append(batch)
+                tracker.sample(now, self.queue.depth)
+            next_arrival = (
+                self.requests[i].arrival_s if i < len(self.requests) else float("inf")
+            )
+            next_finish = in_flight[0][0] if in_flight else float("inf")
+            if next_arrival == float("inf") and next_finish == float("inf"):
+                break
+            if next_arrival <= next_finish:
+                now = next_arrival
+                self.queue.push(self.requests[i])
+                i += 1
+            else:
+                now = next_finish
+                heapq.heappop(in_flight)
+            tracker.sample(now, self.queue.depth)
+        self._result = self._build_result(now, tracker)
+        return self._result
+
+    # -- aggregation -------------------------------------------------------------
+
+    def _build_result(self, end_s: float, tracker: QueueDepthTracker) -> ServeResult:
+        makespan_s = max(self.duration_s, end_s)
+        counters = request_counters(self.requests)
+        latencies = [r.latency_s for r in self.requests if r.finish_s is not None]
+        summary = latency_summary(latencies)
+        if self.slo_s is None:
+            good = counters["completed"]
+        else:
+            good = sum(1 for lat in latencies if lat <= self.slo_s)
+        return ServeResult(
+            arrival=self.arrival.name,
+            admission=self.queue.admission.name,
+            concurrency=self.queue.concurrency,
+            max_batch=self.batcher.max_batch,
+            seed=self.session.config.seed,
+            duration_s=round(self.duration_s, 6),
+            makespan_s=round(makespan_s, 6),
+            num_requests=len(self.requests),
+            completed=counters["completed"],
+            simulations=self.batcher.simulations_executed,
+            batched_requests=counters["batched_requests"],
+            cache_hits=counters["cache_hits"],
+            cache_hit_rate=round(counters["cache_hit_rate"], 6),
+            offered_rps=round(len(self.requests) / self.duration_s, 6),
+            throughput_rps=round(counters["completed"] / makespan_s, 6),
+            goodput_rps=round(good / makespan_s, 6),
+            slo_s=self.slo_s,
+            mean_latency_s=round(summary["mean_latency_s"], 6),
+            p50_latency_s=round(summary["p50_latency_s"], 6),
+            p95_latency_s=round(summary["p95_latency_s"], 6),
+            p99_latency_s=round(summary["p99_latency_s"], 6),
+            max_latency_s=round(summary["max_latency_s"], 6),
+            mean_queue_depth=round(tracker.mean_depth(makespan_s), 6),
+            max_queue_depth=tracker.max_depth,
+            queue_depth_timeline=tracker.timeline(),
+            config=self.session.config.to_dict(),
+            mix=tuple(self.mix.to_dicts()),
+        )
+
+
+def run_serve(session: Session, mix: Any = None, **knobs: Any) -> ServeResult:
+    """Run one open-loop serving workload and return its metrics.
+
+    See :class:`ServeSimulation` for the knobs (``rate``, ``duration_s``,
+    ``arrival``, ``admission``, ``concurrency``, ``max_batch``, ``cache``,
+    ``slo_s``, ``trace_times``/``trace_period`` for ``arrival="trace"``).
+    """
+    return ServeSimulation(session, mix, **knobs).run()

@@ -1,0 +1,97 @@
+"""Serving metrics: latency percentiles, rates and queue-depth tracking.
+
+Pure, dependency-free helpers consumed by the serve driver to assemble a
+:class:`~repro.results.ServeResult`: a linear-interpolation percentile (the
+same convention as ``numpy.percentile``), a latency summary, and a
+:class:`QueueDepthTracker` that integrates queue depth over virtual time
+(time-weighted mean, maximum, and a compact ``(time, depth)`` timeline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.serve.arrivals import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Returns 0.0 for an empty sequence so metrics of a zero-request run are
+    well defined.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_summary(latencies: Sequence[float]) -> dict[str, float]:
+    """Mean/percentile/max summary of request latencies (seconds)."""
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    return {
+        "mean_latency_s": mean,
+        "p50_latency_s": percentile(latencies, 50),
+        "p95_latency_s": percentile(latencies, 95),
+        "p99_latency_s": percentile(latencies, 99),
+        "max_latency_s": max(latencies) if latencies else 0.0,
+    }
+
+
+class QueueDepthTracker:
+    """Integrate queue depth over virtual time.
+
+    :meth:`sample` records the depth *after* each event; between events the
+    depth is constant, so the time-weighted mean is an exact integral.  The
+    timeline only appends on depth changes, keeping it compact.
+    """
+
+    def __init__(self) -> None:
+        self._timeline: list[tuple[float, int]] = [(0.0, 0)]
+        self._last_t = 0.0
+        self._last_depth = 0
+        self._area = 0.0
+        self.max_depth = 0
+
+    def sample(self, t: float, depth: int) -> None:
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        self._area += self._last_depth * (t - self._last_t)
+        self._last_t = t
+        if depth != self._last_depth:
+            self._timeline.append((t, depth))
+            self._last_depth = depth
+        self.max_depth = max(self.max_depth, depth)
+
+    def mean_depth(self, horizon_s: float) -> float:
+        """Time-weighted mean depth over ``[0, horizon_s]``."""
+        if horizon_s <= 0:
+            return 0.0
+        tail = self._last_depth * max(0.0, horizon_s - self._last_t)
+        return (self._area + tail) / horizon_s
+
+    def timeline(self, round_to: int = 6) -> tuple[tuple[float, int], ...]:
+        """The ``(time, depth)`` change points, times rounded for stable JSON."""
+        return tuple((round(t, round_to), d) for t, d in self._timeline)
+
+
+def request_counters(requests: Sequence[Request]) -> dict[str, Any]:
+    """How completed requests were served: fresh, batched or cached."""
+    completed = [r for r in requests if r.finish_s is not None]
+    cache_hits = sum(1 for r in completed if r.served_by == "cache")
+    batched = sum(1 for r in completed if r.served_by == "batch")
+    return {
+        "completed": len(completed),
+        "cache_hits": cache_hits,
+        "batched_requests": batched,
+        "cache_hit_rate": cache_hits / len(completed) if completed else 0.0,
+    }

@@ -1,0 +1,122 @@
+"""Virtual-time request queue with pluggable admission and a concurrency cap.
+
+The :class:`RequestQueue` holds requests that have arrived but not yet been
+dispatched, ordered by an :class:`AdmissionPolicy` sort key.  Two policies
+register with :mod:`repro.registry`:
+
+* ``fifo`` — strict arrival order, and
+* ``priority`` — higher :attr:`RequestCell.priority` first, arrival order
+  within a priority class.
+
+The queue also owns the serving concurrency limit: the driver asks
+:meth:`RequestQueue.can_dispatch` before starting another batch execution,
+so at most ``concurrency`` executions are ever in flight.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.registry import get_admission, register_admission
+from repro.serve.arrivals import Request
+
+
+class AdmissionPolicy:
+    """Base class: total order over queued requests via :meth:`key`."""
+
+    name = "abstract"
+
+    def key(self, request: Request) -> tuple[Any, ...]:
+        """Sort key; the smallest key is dispatched first.
+
+        Keys must be unique per request — include ``request.rid`` as the
+        final tie-breaker so the order is total and deterministic.
+        """
+        raise NotImplementedError
+
+
+@register_admission("fifo", description="first-in, first-out admission (default)")
+class FifoAdmission(AdmissionPolicy):
+    """Serve requests strictly in arrival order."""
+
+    name = "fifo"
+
+    def key(self, request: Request) -> tuple[Any, ...]:
+        return (request.arrival_s, request.rid)
+
+
+@register_admission(
+    "priority", description="higher-priority cells first, FIFO within a class"
+)
+class PriorityAdmission(AdmissionPolicy):
+    """Serve the highest-priority queued request first."""
+
+    name = "priority"
+
+    def key(self, request: Request) -> tuple[Any, ...]:
+        return (-request.priority, request.arrival_s, request.rid)
+
+
+def as_admission(admission: "str | AdmissionPolicy | None") -> AdmissionPolicy:
+    """Normalise the ``admission`` argument of the serve driver."""
+    if isinstance(admission, AdmissionPolicy):
+        return admission
+    if admission is None:
+        return FifoAdmission()
+    return get_admission(admission).obj()
+
+
+class RequestQueue:
+    """Admission-ordered queue of waiting requests.
+
+    Kept as a key-sorted list (queue depths are small relative to the cost of
+    a simulation, and a scan is what the batcher needs anyway); every
+    operation is deterministic because admission keys are unique.
+    """
+
+    def __init__(self, admission: "str | AdmissionPolicy | None" = None, concurrency: int = 4):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.admission = as_admission(admission)
+        self.concurrency = concurrency
+        self._items: list[tuple[tuple[Any, ...], Request]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def can_dispatch(self, in_flight: int) -> bool:
+        """Whether another execution may start given ``in_flight`` running."""
+        return self.depth > 0 and in_flight < self.concurrency
+
+    def push(self, request: Request) -> None:
+        entry = (self.admission.key(request), request)
+        bisect.insort(self._items, entry, key=lambda item: item[0])
+
+    def pop(self) -> Request:
+        """Remove and return the next request in admission order."""
+        if not self._items:
+            raise IndexError("pop from an empty request queue")
+        return self._items.pop(0)[1]
+
+    def take_matching(self, cell: Any, limit: int) -> list[Request]:
+        """Remove up to ``limit`` queued requests with the given cell.
+
+        Used by the batcher to coalesce compatible requests; matches are
+        taken in admission order.
+        """
+        if limit <= 0:
+            return []
+        taken: list[Request] = []
+        kept: list[tuple[tuple[Any, ...], Request]] = []
+        for entry in self._items:
+            if len(taken) < limit and entry[1].cell == cell:
+                taken.append(entry[1])
+            else:
+                kept.append(entry)
+        self._items = kept
+        return taken
