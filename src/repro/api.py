@@ -494,6 +494,7 @@ class Session:
         backend: Any = None,
         jobs: int = 1,
         cache: Any = False,
+        backend_options: "Mapping[str, Any] | None" = None,
     ) -> tuple[CompareResult, ...]:
         """Compare strategies over the cartesian product of sweep axes.
 
@@ -505,7 +506,9 @@ class Session:
         Declared as one :class:`~repro.exec.SweepSpec` grid over
         (gpus, contexts, datasets, strategy) and executed through
         :func:`~repro.exec.run_sweep` — pass ``backend``/``jobs``/``cache``
-        to parallelise the fan-out or reuse cached points.
+        to parallelise the fan-out or reuse cached points, and
+        ``backend_options`` to configure a backend selected by name (e.g.
+        ``backend="cluster", backend_options={"batch_system": "slurm"}``).
         """
         from repro.exec.spec import SweepSpec
         from repro.exec.sweep import run_sweep
@@ -527,7 +530,14 @@ class Session:
             },
         )
         pool = SessionPool(self) if backend in (None, "serial") and jobs == 1 else None
-        sweep = run_sweep(spec, backend=backend, jobs=jobs, cache=cache, pool=pool)
+        sweep = run_sweep(
+            spec,
+            backend=backend,
+            jobs=jobs,
+            cache=cache,
+            pool=pool,
+            backend_options=backend_options,
+        )
         cells = []
         for _, group in sweep.groups("num_gpus", "total_context", "dataset"):
             config = SessionConfig(**group.points[0].session_fields()).to_dict()

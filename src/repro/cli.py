@@ -24,6 +24,15 @@ Eight subcommands:
 
       python -m repro sweep --gpus 16 32 --datasets arxiv github --jobs 4
 
+  ``--batch-system slurm|sge|fake`` switches to the ``cluster`` backend
+  (:mod:`repro.exec.cluster`): sweep points are serialised to job files
+  under a network ``--workdir``, submitted with pass-through
+  ``--batch-options``, and collected in shrinking rounds over the shared
+  ``$REPRO_CACHE_DIR`` point cache::
+
+      python -m repro sweep --batch-system slurm --jobs 50 \\
+          --workdir /nfs/$USER/sweep --batch-options="--partition=long"
+
 * ``experiment`` — regenerate one of the paper's tables/figures by name
   (module-basename aliases like ``fig09_scalability`` also work)::
 
@@ -48,8 +57,8 @@ Eight subcommands:
 * ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
 * ``list`` — show every registered model, dataset, strategy, experiment,
-  recovery policy, execution backend, arrival process and admission policy
-  (with descriptions), straight from the registries.
+  recovery policy, execution backend, batch submitter, arrival process and
+  admission policy (with descriptions), straight from the registries.
 
 A single ``--seed`` drives every stochastic path — batch sampling *and* the
 perturbation schedule — so any run is reproducible from one flag.
@@ -81,12 +90,14 @@ from repro.registry import (
     available_experiments,
     available_recoveries,
     available_strategies,
+    available_submitters,
     backend_entries,
     experiment_aliases,
     experiment_entries,
     get_experiment,
     recovery_entries,
     strategy_entries,
+    submitter_entries,
 )
 from repro.utils.tables import render_table
 from repro.utils.validation import check_positive
@@ -174,7 +185,8 @@ def _add_backend_args(parser: argparse.ArgumentParser, for_experiment: bool = Fa
         "--backend",
         default=None,
         choices=list(available_backends()),
-        help="execution backend (default: serial, or process when --jobs > 1)",
+        help="execution backend (default: serial, or process when --jobs > 1; "
+        "--batch-system implies cluster)",
     )
     group.add_argument(
         "--jobs",
@@ -186,6 +198,27 @@ def _add_backend_args(parser: argparse.ArgumentParser, for_experiment: bool = Fa
         "--no-cache",
         action="store_true",
         help="disable the content-hash result cache (.repro_cache/)",
+    )
+    group.add_argument(
+        "--batch-system",
+        default=None,
+        choices=list(available_submitters()),
+        help="cluster-backend submitter (slurm/sge, or fake for local "
+        "subprocesses); implies --backend cluster",
+    )
+    group.add_argument(
+        "--batch-options",
+        default=None,
+        metavar="OPTS",
+        help='extra scheduler options passed through verbatim, e.g. '
+        '--batch-options="--partition=long --mem=16G"',
+    )
+    group.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="cluster-backend job/result directory; must be a network mount "
+        "all batch nodes see (default: a local temporary directory)",
     )
 
 
@@ -395,8 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "list",
         help="list registered models, datasets, strategies, experiments, "
-        "recovery policies, execution backends, arrival processes and "
-        "admission policies",
+        "recovery policies, execution backends, batch submitters, arrival "
+        "processes and admission policies",
     )
     return parser
 
@@ -419,6 +452,41 @@ def _session_config(args: argparse.Namespace) -> SessionConfig:
         num_steps=args.steps,
         seed=args.seed,
     )
+
+
+def _backend_selection(
+    args: argparse.Namespace,
+) -> "tuple[str | None, dict[str, Any] | None]":
+    """The (backend, backend_options) implied by the execution flags.
+
+    ``--batch-system`` alone is enough to select the cluster backend
+    (partis-style); the batch flags with any *other* explicit backend are a
+    configuration error.  Raises ``ValueError`` for the caller's config-error
+    handling.
+    """
+    backend = args.backend
+    if backend is None and args.batch_system is not None:
+        backend = "cluster"
+    batch_flags = (
+        args.batch_system is not None
+        or args.batch_options is not None
+        or args.workdir is not None
+    )
+    if batch_flags and backend != "cluster":
+        raise ValueError(
+            "--batch-system/--batch-options/--workdir apply only to the "
+            "cluster backend (pass --backend cluster or --batch-system NAME)"
+        )
+    if backend != "cluster":
+        return backend, None
+    options: dict[str, Any] = {
+        "batch_system": args.batch_system if args.batch_system else "fake"
+    }
+    if args.batch_options is not None:
+        options["batch_options"] = args.batch_options
+    if args.workdir is not None:
+        options["workdir"] = args.workdir
+    return backend, options
 
 
 def _perturbation(args: argparse.Namespace):
@@ -540,6 +608,7 @@ def run_sweep_cmd(args: argparse.Namespace) -> int:
         check_positive("iterations", args.iterations)
         if args.jobs < 1:
             raise ValueError("--jobs must be >= 1")
+        backend, backend_options = _backend_selection(args)
         perturbation = _perturbation(args)
     except (ValueError, KeyError) as exc:
         return _config_error(exc)
@@ -565,7 +634,11 @@ def run_sweep_cmd(args: argparse.Namespace) -> int:
         },
     )
     result = run_sweep(
-        spec, backend=args.backend, jobs=args.jobs, cache=not args.no_cache
+        spec,
+        backend=backend,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        backend_options=backend_options,
     )
     if args.json:
         print(result.to_json(indent=2))
@@ -589,6 +662,15 @@ def run_sweep_cmd(args: argparse.Namespace) -> int:
         f"(jobs={meta['jobs']}): {meta['cache_hits']} cached, "
         f"{meta['executed_points']} executed in {meta['wall_time_s']:.2f}s]"
     )
+    if "rounds" in meta:
+        hits = sum(r["worker_cache_hits"] for r in meta["rounds"])
+        print(
+            f"[cluster: {meta['batch_system']} batch system, "
+            f"{len(meta['rounds'])} round(s), "
+            f"{sum(r['jobs'] for r in meta['rounds'])} jobs, "
+            f"{meta['resubmissions']} resubmissions, "
+            f"{hits} worker cache hits]"
+        )
     return 0
 
 
@@ -655,16 +737,37 @@ def run_experiment(args: argparse.Namespace) -> int:
     if supports_exec:
         if args.jobs is not None and args.jobs < 1:
             return _config_error(ValueError("--jobs must be >= 1"))
+        try:
+            backend, backend_options = _backend_selection(args)
+        except ValueError as exc:
+            return _config_error(exc)
         kwargs["use_cache"] = not args.no_cache
-        if args.backend is not None:
-            kwargs["backend"] = args.backend
+        if backend_options is not None:
+            # Experiments forward `backend` verbatim to run_sweep, which
+            # accepts instances — so the cluster flags need no per-experiment
+            # plumbing: hand over a fully-constructed backend.
+            from repro.exec.sweep import resolve_backend
+
+            kwargs["backend"] = resolve_backend(
+                backend, jobs=args.jobs or 1, options=backend_options
+            )
+        elif backend is not None:
+            kwargs["backend"] = backend
         if args.jobs is not None:
             kwargs["jobs"] = args.jobs
-    elif args.backend is not None or args.jobs is not None or args.no_cache:
+    elif (
+        args.backend is not None
+        or args.jobs is not None
+        or args.no_cache
+        or args.batch_system is not None
+        or args.batch_options is not None
+        or args.workdir is not None
+    ):
         return _config_error(
             ValueError(
                 f"experiment {args.name!r} does not support sweep execution "
-                "flags (--backend/--jobs/--no-cache)"
+                "flags (--backend/--jobs/--no-cache/--batch-system/"
+                "--batch-options/--workdir)"
             )
         )
     if args.json:
@@ -784,6 +887,7 @@ def run_list(args: argparse.Namespace) -> int:
         ("experiments", experiment_entries()),
         ("recovery policies", recovery_entries()),
         ("execution backends", backend_entries()),
+        ("batch submitters", submitter_entries()),
         ("arrival processes", arrival_entries()),
         ("admission policies", admission_entries()),
     )

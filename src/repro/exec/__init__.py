@@ -5,7 +5,8 @@ The experiment surface of the repo is built on this package: a frozen
 models, datasets, perturbation configs — with ``zip``/``where``/``derived``
 support so grids need not be full cross-products), a pluggable backend
 registry executes its points (``serial`` in-process, ``process`` via
-``multiprocessing``; register more with
+``multiprocessing``, ``cluster`` over slurm/sge-style batch systems — see
+:mod:`repro.exec.cluster`; register more with
 :func:`~repro.registry.register_backend`), a content-hash result cache under
 ``.repro_cache/`` short-circuits already-simulated points, and everything
 lands in a :class:`SweepResult` with per-point results and execution meta.
@@ -30,12 +31,14 @@ Quickstart::
 
 from repro.exec.backends import ExecutionBackend, ProcessBackend, SerialBackend
 from repro.exec.cache import ResultCache, cache_salt, point_key
+from repro.exec.cluster import ClusterBackend
 from repro.exec.result import SweepResult
 from repro.exec.spec import RUN_FIELDS, SESSION_FIELDS, SweepPoint, SweepSpec
 from repro.exec.sweep import resolve_backend, run_sweep
 from repro.exec.worker import SessionPool, execute_payload, execute_point
 
 __all__ = [
+    "ClusterBackend",
     "ExecutionBackend",
     "ProcessBackend",
     "ResultCache",

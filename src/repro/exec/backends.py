@@ -42,6 +42,15 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def observability(self) -> "dict[str, Any]":
+        """Extra metadata about the last :meth:`map` call for ``SweepResult.meta``.
+
+        Backends with execution structure worth surfacing (the ``cluster``
+        backend's rounds, for instance) override this; keys must not collide
+        with the sweep driver's own meta keys.
+        """
+        return {}
+
 
 @register_backend(
     "serial", description="in-process sequential execution (default)"
@@ -68,6 +77,19 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
+    @staticmethod
+    def chunksize(num_payloads: int, jobs: int) -> int:
+        """Points handed to a worker per pool task.
+
+        ``chunksize=1`` on a 10k-point grid is pure IPC overhead; one chunk
+        per worker starves the pool when point costs are skewed.  Aim for
+        ~4 chunks per worker, capped so a single chunk never holds a large
+        slice of the grid hostage behind one slow worker.  ``pool.map``
+        returns results in submission order for any chunksize, so ordering
+        and determinism are unaffected.
+        """
+        return max(1, min(32, -(-num_payloads // (jobs * 4))))
+
     def map(self, payloads: Sequence[Payload], worker: Worker) -> list[dict]:
         jobs = min(self.jobs, len(payloads))
         if jobs <= 1:
@@ -79,4 +101,8 @@ class ProcessBackend(ExecutionBackend):
         # by child processes to be visible there.
         ctx = multiprocessing.get_context(multiprocessing.get_start_method())
         with ctx.Pool(processes=jobs) as pool:
-            return pool.map(execute_payload, [dict(p) for p in payloads], chunksize=1)
+            return pool.map(
+                execute_payload,
+                [dict(p) for p in payloads],
+                chunksize=self.chunksize(len(payloads), jobs),
+            )

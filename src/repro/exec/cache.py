@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Any
 
@@ -60,26 +61,47 @@ class ResultCache:
     def get(self, key: str) -> dict[str, Any] | None:
         """The cached result dict for ``key``, or ``None`` on a miss.
 
-        Unreadable or corrupt entries count as misses (and will be
-        overwritten by the next :meth:`put`).
+        Unreadable, corrupt or structurally-wrong entries count as misses
+        (and will be overwritten by the next :meth:`put`) — with many nodes
+        sharing one cache directory over a network mount, a racing or
+        interrupted writer must only ever cost a re-simulation, never a
+        wrong result.
         """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-            return entry["result"]
-        except (OSError, ValueError, KeyError):
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
             return None
+        if not isinstance(result, dict):
+            return None
+        return result
 
     def put(self, key: str, point: dict[str, Any], result: dict[str, Any]) -> None:
-        """Store one point's result; writes are atomic (tmp file + rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Store one point's result; racing writers are safe.
+
+        The entry is written to a uniquely-named temporary file (pid alone
+        is not unique once many nodes share the directory) and published
+        with an atomic ``os.replace``, so readers see either the old entry,
+        the new one, or nothing — never a partial write.  Concurrent writers
+        of the same key overwrite each other with identical content.  The
+        cache is best-effort: a failed write (full disk, revoked mount) is
+        swallowed and simply stays a miss.
+        """
         entry = {"salt": cache_salt(), "point": point, "result": result}
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(entry, handle)
-        os.replace(tmp, path)
+        tmp = self.root / f".{key}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -1,0 +1,224 @@
+"""The ``cluster`` execution backend: partis-style rounds over a batch system.
+
+``map()`` splits the payloads over ``jobs`` workers, serialises each chunk
+to a job file under the (network) workdir, submits the lot through the
+selected :mod:`submitter <repro.exec.cluster.submitters>`, and collects the
+partial results.  Payloads whose jobs failed past their resubmission budget
+carry over to the next round, re-split over ~1.6x fewer, larger jobs —
+partis's hierarchical merge discipline.  Because every worker writes each
+finished point into the shared point cache (``$REPRO_CACHE_DIR``, pointed
+at the mount), the payloads a later round re-covers are cache hits: later,
+larger rounds are no slower than early ones.
+
+Per-round observability (job counts, resubmissions, worker execute/hit
+counts, wall time) lands in :attr:`SweepResult.meta <repro.exec.result.SweepResult.meta>`
+via :meth:`ClusterBackend.observability`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exec.backends import ExecutionBackend, Payload, Worker
+from repro.exec.cache import DEFAULT_CACHE_DIR
+from repro.exec.cluster.jobfile import result_path_for, write_jobfile
+from repro.exec.cluster.submitters import ClusterJob, Submitter, run_jobs
+from repro.registry import get_submitter, register_backend
+
+# Worker count divisor between consecutive rounds (partis reduces ~1.6x).
+SHRINK_FACTOR = 1.6
+
+
+def _chunks(indices: Sequence[int], jobs: int) -> list[tuple[int, ...]]:
+    """Split ``indices`` into at most ``jobs`` contiguous, near-equal chunks."""
+    jobs = min(jobs, len(indices))
+    size, remainder = divmod(len(indices), jobs)
+    out = []
+    start = 0
+    for j in range(jobs):
+        width = size + (1 if j < remainder else 0)
+        out.append(tuple(indices[start : start + width]))
+        start += width
+    return out
+
+
+@register_backend(
+    "cluster",
+    description="batch-system fan-out (slurm/sge/fake) over a shared workdir",
+)
+class ClusterBackend(ExecutionBackend):
+    """Fan payloads out over a batch system in shrinking rounds.
+
+    Parameters
+    ----------
+    jobs:
+        Workers in the first round (later rounds shrink by
+        :data:`SHRINK_FACTOR`).
+    batch_system:
+        Submitter registry name: ``slurm``, ``sge``, or ``fake`` (local
+        subprocesses, the CI/single-host default).
+    batch_options:
+        Extra scheduler options passed through verbatim, e.g.
+        ``"--partition=long --mem=16G"``.
+    workdir:
+        Directory for job/result/log files.  With a real batch system this
+        must be a network mount every node can see; default is a fresh local
+        temporary directory (fine for ``fake``), removed again on success.
+    cache_dir:
+        Shared point cache for the workers; defaults to ``$REPRO_CACHE_DIR``
+        or, if unset, a ``point_cache/`` directory inside the workdir.
+    timeout_s / poll_interval_s / max_resubmits:
+        Per-job timeout, result-poll cadence, and in-round resubmission
+        budget (see :func:`~repro.exec.cluster.submitters.run_jobs`).
+    submitter:
+        An explicit :class:`Submitter` instance, overriding ``batch_system``
+        (used by tests; normal callers select by name).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        batch_system: str = "fake",
+        batch_options: str = "",
+        workdir: "str | Path | None" = None,
+        cache_dir: "str | Path | None" = None,
+        timeout_s: float | None = None,
+        poll_interval_s: float = 0.1,
+        max_resubmits: int = 1,
+        submitter: "Submitter | None" = None,
+    ):
+        super().__init__(jobs=jobs)
+        self.batch_system = submitter.name if submitter is not None else batch_system
+        self.batch_options = batch_options
+        self.workdir = None if workdir is None else Path(workdir)
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.timeout_s = timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.max_resubmits = max_resubmits
+        self._submitter = submitter
+        self._last_run: dict[str, Any] = {}
+
+    def _make_submitter(self, workdir: Path) -> Submitter:
+        if self._submitter is not None:
+            return self._submitter
+        cls = get_submitter(self.batch_system).obj
+        return cls(batch_options=self.batch_options, workdir=workdir)
+
+    def map(self, payloads: Sequence[Payload], worker: Worker) -> list[dict]:
+        if not payloads:
+            self._last_run = {}
+            return []
+        auto_workdir = self.workdir is None
+        workdir = (
+            Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+            if auto_workdir
+            else self.workdir
+        )
+        workdir.mkdir(parents=True, exist_ok=True)
+        cache_dir = self.cache_dir
+        if cache_dir is None:
+            env_dir = os.environ.get("REPRO_CACHE_DIR")
+            cache_dir = (
+                Path(env_dir) if env_dir else workdir / "point_cache"
+            )
+        submitter = self._make_submitter(workdir)
+
+        results: list[dict | None] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        num_jobs = min(self.jobs, len(payloads))
+        rounds: list[dict[str, Any]] = []
+        total_resubmissions = 0
+        round_index = 0
+
+        while pending:
+            round_index += 1
+            round_start = time.perf_counter()
+            jobs = []
+            for j, chunk in enumerate(_chunks(pending, num_jobs)):
+                jobfile = workdir / f"r{round_index:02d}_j{j:03d}.json"
+                write_jobfile(
+                    jobfile,
+                    [payloads[i] for i in chunk],
+                    cache_dir=cache_dir,
+                )
+                # A reused workdir may hold a result file from an earlier
+                # sweep; completion is defined by its presence, so clear it.
+                result_path_for(jobfile).unlink(missing_ok=True)
+                jobs.append(
+                    ClusterJob(
+                        name=f"repro-r{round_index:02d}-j{j:03d}",
+                        jobfile=jobfile,
+                        result_file=result_path_for(jobfile),
+                        log_path=jobfile.with_suffix(".log"),
+                        num_payloads=len(chunk),
+                        payload_indices=chunk,
+                    )
+                )
+            outcome = run_jobs(
+                submitter,
+                jobs,
+                timeout_s=self.timeout_s,
+                poll_interval_s=self.poll_interval_s,
+                max_resubmits=self.max_resubmits,
+            )
+            executed = 0
+            cache_hits = 0
+            done: set[int] = set()
+            for job in outcome["completed"]:
+                for index, result in zip(job.payload_indices, job.result["results"]):
+                    results[index] = result
+                    done.add(index)
+                stats = job.result["stats"]
+                executed += int(stats.get("executed", 0))
+                cache_hits += int(stats.get("cache_hits", 0))
+            total_resubmissions += outcome["resubmissions"]
+            rounds.append(
+                {
+                    "round": round_index,
+                    "jobs": len(jobs),
+                    "payloads": len(pending),
+                    "completed_jobs": len(outcome["completed"]),
+                    "failed_jobs": len(outcome["failed"]),
+                    "resubmissions": outcome["resubmissions"],
+                    "worker_executed": executed,
+                    "worker_cache_hits": cache_hits,
+                    "wall_time_s": round(time.perf_counter() - round_start, 6),
+                }
+            )
+            pending = [i for i in pending if i not in done]
+            if pending:
+                if num_jobs == 1:
+                    errors = "; ".join(
+                        job.last_error or "unknown failure"
+                        for job in outcome["failed"]
+                    )
+                    raise RuntimeError(
+                        f"cluster sweep failed: {len(pending)} payloads still "
+                        f"unfinished after {round_index} rounds down to one "
+                        f"worker (workdir kept at {workdir}): {errors}"
+                    )
+                # partis discipline: fewer, larger jobs each retry round.
+                num_jobs = max(1, min(num_jobs - 1, int(num_jobs / SHRINK_FACTOR)))
+
+        self._last_run = {
+            "batch_system": self.batch_system,
+            "workdir": str(workdir),
+            "point_cache_dir": str(cache_dir),
+            "rounds": rounds,
+            "resubmissions": total_resubmissions,
+        }
+        if auto_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return results
+
+    def observability(self) -> dict[str, Any]:
+        """Per-round job/timing/cache metadata of the last :meth:`map` call."""
+        return dict(self._last_run)

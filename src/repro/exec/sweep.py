@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro.exec import worker as _worker
 from repro.exec.backends import ExecutionBackend
@@ -25,18 +25,29 @@ from repro.results import result_from_dict
 
 
 def resolve_backend(
-    backend: "str | ExecutionBackend | None", jobs: int = 1
+    backend: "str | ExecutionBackend | None",
+    jobs: int = 1,
+    options: "Mapping[str, Any] | None" = None,
 ) -> ExecutionBackend:
     """Backend instance from a name, an instance, or ``None``.
 
     ``None`` selects ``serial`` for one job and ``process`` for several, so
-    ``--jobs 4`` alone is enough to parallelise.
+    ``--jobs 4`` alone is enough to parallelise.  ``options`` are extra
+    constructor keywords for backends resolved by name (the ``cluster``
+    backend's ``batch_system``/``batch_options``/``workdir``...); passing
+    them alongside an already-built instance is a usage error.
     """
     if isinstance(backend, ExecutionBackend):
+        if options:
+            raise ValueError(
+                "backend options were given alongside an already-constructed "
+                f"backend instance ({backend.name!r}); pass them to its "
+                "constructor instead"
+            )
         return backend
     if backend is None:
         backend = "process" if jobs > 1 else "serial"
-    return get_backend(backend).obj(jobs=jobs)
+    return get_backend(backend).obj(jobs=jobs, **dict(options or {}))
 
 
 def run_sweep(
@@ -46,6 +57,7 @@ def run_sweep(
     jobs: int = 1,
     cache: "bool | str | Path | ResultCache | None" = False,
     pool: SessionPool | None = None,
+    backend_options: "Mapping[str, Any] | None" = None,
 ) -> SweepResult:
     """Execute every point of ``spec`` and collect a :class:`SweepResult`.
 
@@ -67,10 +79,14 @@ def run_sweep(
         launched from a :class:`Session` pass a pool rooted there so its
         batch/plan caches are reused.  Process workers always use their own
         per-process pool.
+    backend_options:
+        Extra constructor keywords for a backend resolved by name, e.g.
+        ``run_sweep(spec, backend="cluster", jobs=50,
+        backend_options={"batch_system": "slurm", "workdir": "/nfs/sweep"})``.
     """
     start = time.perf_counter()
     points = spec.points()
-    backend_obj = resolve_backend(backend, jobs=jobs)
+    backend_obj = resolve_backend(backend, jobs=jobs, options=backend_options)
     cache_obj = as_cache(cache)
 
     result_dicts: list[dict[str, Any] | None] = [None] * len(points)
@@ -106,4 +122,8 @@ def run_sweep(
         "executed_points": len(pending),
         "wall_time_s": round(time.perf_counter() - start, 6),
     }
+    # Backend-specific observability (e.g. the cluster backend's per-round
+    # job/timing/cache stats) rides along; driver keys take precedence.
+    for key, value in backend_obj.observability().items():
+        meta.setdefault(key, value)
     return SweepResult(points=points, results=results, meta=meta)

@@ -19,9 +19,11 @@ Public helpers:
 
 * :func:`register_strategy` / :func:`register_experiment` /
   :func:`register_recovery` / :func:`register_backend` /
-  :func:`register_arrival` / :func:`register_admission` — decorators.
+  :func:`register_submitter` / :func:`register_arrival` /
+  :func:`register_admission` — decorators.
 * :func:`get_strategy` / :func:`get_experiment` / :func:`get_recovery` /
-  :func:`get_backend` / :func:`get_arrival` / :func:`get_admission` — name
+  :func:`get_backend` / :func:`get_submitter` / :func:`get_arrival` /
+  :func:`get_admission` — name
   -> entry lookup (experiments also accept their module-basename aliases,
   e.g. ``fig09_scalability`` for ``fig9``).
 * ``available_*`` — sorted names; ``*_entries`` — full metadata.
@@ -222,6 +224,14 @@ _BUILTIN_RECOVERY_MODULES = {
 _BUILTIN_BACKEND_MODULES = {
     "serial": "repro.exec.backends",
     "process": "repro.exec.backends",
+    "cluster": "repro.exec.cluster.backend",
+}
+
+# Built-in batch-system submitter name -> providing module (repro.exec.cluster).
+_BUILTIN_SUBMITTER_MODULES = {
+    "slurm": "repro.exec.cluster.submitters",
+    "sge": "repro.exec.cluster.submitters",
+    "fake": "repro.exec.cluster.submitters",
 }
 
 # Built-in serving arrival process name -> providing module (repro.serve).
@@ -255,6 +265,7 @@ STRATEGIES = Registry("strategy", _BUILTIN_STRATEGY_MODULES)
 EXPERIMENTS = Registry("experiment", _BUILTIN_EXPERIMENT_MODULES)
 RECOVERIES = Registry("recovery policy", _BUILTIN_RECOVERY_MODULES)
 BACKENDS = Registry("execution backend", _BUILTIN_BACKEND_MODULES)
+SUBMITTERS = Registry("batch submitter", _BUILTIN_SUBMITTER_MODULES)
 ARRIVALS = Registry("arrival process", _BUILTIN_ARRIVAL_MODULES)
 ADMISSIONS = Registry("admission policy", _BUILTIN_ADMISSION_MODULES)
 
@@ -347,6 +358,29 @@ def backend_entries() -> tuple[RegistryEntry, ...]:
 
 def unregister_backend(name: str) -> None:
     BACKENDS.unregister(name)
+
+
+def register_submitter(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a batch-system submitter by short name."""
+    return SUBMITTERS.decorator(name, description=description, **metadata)
+
+
+def get_submitter(name: str) -> RegistryEntry:
+    return SUBMITTERS.get(name)
+
+
+def available_submitters() -> tuple[str, ...]:
+    return SUBMITTERS.names()
+
+
+def submitter_entries() -> tuple[RegistryEntry, ...]:
+    return SUBMITTERS.entries()
+
+
+def unregister_submitter(name: str) -> None:
+    SUBMITTERS.unregister(name)
 
 
 def register_arrival(

@@ -1,0 +1,131 @@
+"""Racing writers on a shared ResultCache: wrong results never, misses only.
+
+The cluster backend points every batch worker at one cache directory over a
+network mount, so the cache must survive concurrent writers of the same key,
+readers racing a writer, and garbage written next to (or instead of) real
+entries.  These tests hammer one directory from several processes and assert
+the only observable failure mode is a miss.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.exec.cache import ResultCache, point_key
+from repro.exec.spec import SweepPoint
+
+KEYS = 5
+ROUNDS = 40
+
+
+def _point(i):
+    return SweepPoint({"model": "3b", "strategy": "te_cp", "seed": i})
+
+
+def _expected(i):
+    return {"which": i, "tokens_per_second": 1000.0 + i}
+
+
+def _hammer(args):
+    """One racing process: interleave puts, reads and garbage writes.
+
+    Returns the number of wrong reads observed (must be 0): a get() may miss,
+    but whatever it returns for key i must be exactly ``_expected(i)``.
+    """
+    root, worker_id = args
+    cache = ResultCache(root)
+    keys = [point_key(_point(i)) for i in range(KEYS)]
+    wrong = 0
+    for round_no in range(ROUNDS):
+        i = (round_no + worker_id) % KEYS
+        cache.put(keys[i], _point(i).to_dict(), _expected(i))
+        # One writer bypasses atomicity entirely and scribbles garbage over
+        # a final path byte by byte — a reader must treat any intermediate
+        # state as a miss, then the next put() repairs the entry.
+        if worker_id == 0 and round_no % 10 == 5:
+            victim = cache._path(keys[i])
+            with victim.open("w", encoding="utf-8") as handle:
+                for ch in '{"result": {"tru':
+                    handle.write(ch)
+                    handle.flush()
+        got = cache.get(keys[(round_no * 3 + worker_id) % KEYS])
+        j = (round_no * 3 + worker_id) % KEYS
+        if got is not None and got != _expected(j):
+            wrong += 1
+    return wrong
+
+
+class TestConcurrentCacheWriters:
+    def test_racing_processes_never_read_wrong_results(self, tmp_path):
+        root = tmp_path / "shared_cache"
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            wrong_counts = pool.map(_hammer, [(str(root), w) for w in range(4)])
+        assert wrong_counts == [0, 0, 0, 0]
+        # After the dust settles every key converges to the correct entry
+        # once re-put (garbage overwrites may have left some keys corrupt —
+        # which must read as a miss, not as data).
+        cache = ResultCache(root)
+        for i in range(KEYS):
+            key = point_key(_point(i))
+            assert cache.get(key) in (None, _expected(i))
+            cache.put(key, _point(i).to_dict(), _expected(i))
+            assert cache.get(key) == _expected(i)
+        # No temp files leaked by any racing writer.
+        assert not [p for p in root.iterdir() if p.name.endswith(".tmp")]
+
+    def test_duplicate_writers_same_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = point_key(_point(0))
+        for _ in range(20):
+            cache.put(key, _point(0).to_dict(), _expected(0))
+        assert cache.get(key) == _expected(0)
+        assert len(cache) == 1
+
+
+class TestCorruptEntriesAreMisses:
+    def test_truncated_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(_point(1))
+        cache.put(key, _point(1).to_dict(), _expected(1))
+        path = cache._path(key)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(key) is None
+
+    def test_wrong_shape_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(_point(2))
+        for garbage in ("[1, 2, 3]", '"a string"', '{"no_result": 1}',
+                        '{"result": 5}', '{"result": [1]}', ""):
+            cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+            cache._path(key).write_text(garbage)
+            assert cache.get(key) is None
+        # A proper put() repairs the slot.
+        cache.put(key, _point(2).to_dict(), _expected(2))
+        assert cache.get(key) == _expected(2)
+
+    def test_missing_directory_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "missing" / "deeper")
+        assert cache.get(point_key(_point(3))) is None
+        assert len(cache) == 0
+
+    def test_failed_write_is_swallowed(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(os, "replace", _raise_oserror)
+        cache.put(point_key(_point(4)), _point(4).to_dict(), _expected(4))
+        assert cache.get(point_key(_point(4))) is None
+        assert not [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+
+
+def _raise_oserror(*args, **kwargs):
+    raise OSError("disk full")
+
+
+class TestCacheEntryFormat:
+    def test_entry_carries_salt_and_point(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(_point(0))
+        cache.put(key, _point(0).to_dict(), _expected(0))
+        entry = json.loads(cache._path(key).read_text())
+        assert set(entry) == {"salt", "point", "result"}
+        assert entry["result"] == _expected(0)

@@ -146,3 +146,85 @@ class TestListBackends:
         out = capsys.readouterr().out
         assert "execution backends:" in out
         assert "serial" in out and "process" in out
+        assert "cluster" in out
+
+    def test_list_shows_batch_submitters(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "batch submitters:" in out
+        assert "slurm" in out and "sge" in out and "fake" in out
+
+
+class TestClusterCliFlags:
+    _GRID = [
+        "sweep", "--model", "3b", "--context-k", "16", "--steps", "1",
+        "--strategies", "te_cp", "zeppelin", "--no-cache",
+    ]
+
+    def test_parser_accepts_batch_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--batch-system", "fake",
+             "--batch-options=--partition=long --mem=16G",
+             "--workdir", "/nfs/sweep"]
+        )
+        assert args.batch_system == "fake"
+        assert args.batch_options == "--partition=long --mem=16G"
+        assert args.workdir == "/nfs/sweep"
+
+    def test_unknown_batch_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--batch-system", "pbs"])
+
+    def test_batch_system_implies_cluster_backend(self, capsys):
+        assert main(self._GRID + ["--batch-system", "fake", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "via cluster backend" in out
+        assert "[cluster: fake batch system" in out
+
+    def test_batch_flags_with_other_backend_exit_2(self, capsys):
+        code = main(self._GRID + ["--backend", "serial", "--batch-system", "fake"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "cluster backend" in capsys.readouterr().err
+
+    def test_cluster_sweep_json_matches_serial(self, capsys):
+        assert main(self._GRID + ["--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(self._GRID + ["--batch-system", "fake", "--jobs", "2",
+                                  "--json"]) == 0
+        cluster = json.loads(capsys.readouterr().out)
+        assert cluster["results"] == serial["results"]
+        assert cluster["points"] == serial["points"]
+        assert cluster["meta"]["backend"] == "cluster"
+        assert cluster["meta"]["batch_system"] == "fake"
+        assert len(cluster["meta"]["rounds"]) == 1
+
+    def test_experiment_batch_flags_build_cluster_backend(self, capsys):
+        from repro.exec import ClusterBackend
+
+        calls = []
+
+        @register_experiment("_cli_cluster_probe", description="probe")
+        def probe(seed: int = 0, backend=None, jobs: int = 1,
+                  use_cache: bool = False):
+            from repro.experiments.common import ExperimentResult
+
+            calls.append(backend)
+            return ExperimentResult(
+                name="probe", description="d", headers=["x"], rows=[[1]]
+            )
+
+        try:
+            code = main(["experiment", "_cli_cluster_probe",
+                         "--batch-system", "fake", "--jobs", "3"])
+        finally:
+            unregister_experiment("_cli_cluster_probe")
+        assert code == 0
+        (backend,) = calls
+        assert isinstance(backend, ClusterBackend)
+        assert backend.jobs == 3
+        assert backend.batch_system == "fake"
+
+    def test_batch_flags_rejected_for_plain_experiments(self, capsys):
+        code = main(["experiment", "table2", "--batch-system", "fake"])
+        assert code == CONFIG_ERROR_EXIT_CODE
+        assert "--batch-system" in capsys.readouterr().err

@@ -6,6 +6,7 @@ import pytest
 
 from repro.api import Session
 from repro.exec import (
+    ProcessBackend,
     ResultCache,
     SerialBackend,
     SweepPoint,
@@ -125,6 +126,24 @@ class TestBackendsRegistry:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
             SerialBackend(jobs=0)
+
+    def test_observability_defaults_empty(self):
+        assert SerialBackend().observability() == {}
+
+
+class TestProcessChunksize:
+    """Large grids must not degenerate to chunksize 1 (one IPC per point)."""
+
+    def test_targets_about_four_chunks_per_worker(self):
+        assert ProcessBackend.chunksize(64, 4) == 4
+        assert ProcessBackend.chunksize(1000, 8) == 32
+
+    def test_capped_so_stragglers_cannot_hold_the_tail(self):
+        assert ProcessBackend.chunksize(100_000, 4) == 32
+
+    def test_small_grids_floor_at_one(self):
+        assert ProcessBackend.chunksize(3, 8) == 1
+        assert ProcessBackend.chunksize(1, 1) == 1
 
 
 class TestRunSweep:
@@ -364,8 +383,8 @@ class TestSessionSweepIntegration:
         seen = {}
         original = sweep_mod.resolve_backend
 
-        def spy(backend, jobs=1):
-            resolved = original(backend, jobs=jobs)
+        def spy(backend, jobs=1, options=None):
+            resolved = original(backend, jobs=jobs, options=options)
             seen["name"] = resolved.name
             return resolved
 
