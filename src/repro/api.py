@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.cluster.presets import cluster_a, cluster_b, cluster_c
@@ -38,6 +39,7 @@ from repro.core.strategy import Strategy, StrategyContext
 from repro.data.datasets import SyntheticDataset
 from repro.data.sampler import Batch
 from repro.model.spec import TransformerSpec, get_model
+from repro.obs.core import Telemetry, as_telemetry, current_telemetry
 from repro.registry import get_strategy
 from repro.results import CompareResult, ResilienceResult, RunResult, ServeResult
 from repro.utils.validation import check_positive
@@ -171,13 +173,28 @@ class Session:
 
     Derived sessions created by :meth:`derive`/:meth:`sweep` are themselves
     cached by configuration, so re-running a sweep is nearly free.
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry` hub, a JSONL path, or
+    ``None`` for the ambient default) is purely observational: it flows into
+    every run/compare/sweep/serve launched from this session — and into
+    sessions derived from it — without ever affecting results.
     """
 
-    def __init__(self, config: SessionConfig | None = None, /, **overrides: Any):
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        /,
+        telemetry: "Telemetry | str | Path | None" = None,
+        **overrides: Any,
+    ):
         if config is None:
             config = SessionConfig(**overrides)
         elif overrides:
             config = config.replace(**overrides)
+        # Resolve paths to a hub once (a path re-resolved per call would
+        # reopen — and truncate — the sink); None stays None so the ambient
+        # hub is consulted at use time, not construction time.
+        self._telemetry = None if telemetry is None else as_telemetry(telemetry)
         self.config = config
         self.cluster = build_cluster(config)
         self.spec: TransformerSpec = get_model(config.model)
@@ -193,6 +210,11 @@ class Session:
         self._children: dict[tuple[Any, ...], "Session"] = {}
 
     # -- cached building blocks -------------------------------------------------
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The session's telemetry hub (the ambient default unless one was given)."""
+        return current_telemetry() if self._telemetry is None else self._telemetry
 
     @property
     def batches(self) -> list[Batch]:
@@ -329,6 +351,7 @@ class Session:
             schedule=schedule,
             policy=policy,
             num_iterations=num_iterations,
+            telemetry=self.telemetry,
             **kwargs,
         )
         return ResilienceResult(
@@ -432,7 +455,9 @@ class Session:
             base=self._run_base(perturbation, recovery, num_iterations),
             axes={"strategy": tuple(strategies)},
         )
-        sweep = run_sweep(spec, backend="serial", pool=SessionPool(self))
+        sweep = run_sweep(
+            spec, backend="serial", pool=SessionPool(self), telemetry=self._telemetry
+        )
         return CompareResult(
             runs=sweep.results,
             baseline=(baseline or strategies[0]).lower(),
@@ -460,6 +485,7 @@ class Session:
         """
         from repro.serve.driver import run_serve
 
+        knobs.setdefault("telemetry", self._telemetry)
         return run_serve(self, mix, **knobs)
 
     # -- derived sessions and sweeps --------------------------------------------
@@ -478,7 +504,7 @@ class Session:
         key = config.cache_key()
         child = self._children.get(key)
         if child is None:
-            child = Session(config)
+            child = Session(config, telemetry=self._telemetry)
             child._children = self._children  # share the pool across the family
             self._children[key] = child
         return child
@@ -537,6 +563,7 @@ class Session:
             cache=cache,
             pool=pool,
             backend_options=backend_options,
+            telemetry=self._telemetry,
         )
         cells = []
         for _, group in sweep.groups("num_gpus", "total_context", "dataset"):

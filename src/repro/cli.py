@@ -1,6 +1,6 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Eight subcommands:
+Nine subcommands:
 
 * ``run`` — measure one strategy on one configuration, optionally under
   faults (:mod:`repro.dynamics`)::
@@ -54,6 +54,10 @@ Eight subcommands:
       python -m repro serve --rate 5 --duration 60 --seed 0 --json
       python -m repro serve --mix zeppelin=3 te_cp=1 --admission priority
 
+* ``obs`` — summarise a telemetry log written by ``--telemetry``::
+
+      python -m repro obs report telemetry.jsonl
+
 * ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
 * ``list`` — show every registered model, dataset, strategy, experiment,
@@ -61,7 +65,10 @@ Eight subcommands:
   admission policy (with descriptions), straight from the registries.
 
 A single ``--seed`` drives every stochastic path — batch sampling *and* the
-perturbation schedule — so any run is reproducible from one flag.
+perturbation schedule — so any run is reproducible from one flag.  The
+``run``/``compare``/``sweep``/``experiment``/``serve`` subcommands accept
+``--telemetry PATH``: structured events (:mod:`repro.obs`) stream to a JSONL
+file while the command runs, without changing any result byte.
 
 Strategies, experiments, recovery policies and execution backends are
 resolved through :mod:`repro.registry`; anything registered with
@@ -80,6 +87,7 @@ import sys
 from typing import Any, Sequence
 
 from repro.api import DEFAULT_COMPARISON, Session, SessionConfig
+from repro.obs.core import Telemetry, telemetry_scope
 from repro.registry import (
     RegistryError,
     admission_entries,
@@ -104,6 +112,17 @@ from repro.utils.validation import check_positive
 
 # Exit code for configuration errors (bad GPU count, unknown model/dataset...).
 CONFIG_ERROR_EXIT_CODE = 2
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    """The ``--telemetry PATH`` flag (observational JSONL event stream)."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream structured telemetry events to a JSONL file "
+        "(summarise with `repro obs report PATH`; results are unaffected)",
+    )
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -220,6 +239,12 @@ def _add_backend_args(parser: argparse.ArgumentParser, for_experiment: bool = Fa
         help="cluster-backend job/result directory; must be a network mount "
         "all batch nodes see (default: a local temporary directory)",
     )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="cluster backend: print a live per-job/per-round status line "
+        "to stderr (output only, never enters results)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_args(run)
     _add_dynamics_args(run)
+    _add_telemetry_arg(run)
     run.add_argument(
         "--json",
         action="store_true",
@@ -259,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="strategy to normalise speedups against (default: first listed)",
     )
+    _add_telemetry_arg(compare)
     compare.add_argument(
         "--json",
         action="store_true",
@@ -299,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_args(sweep)
     _add_backend_args(sweep)
+    _add_telemetry_arg(sweep)
     sweep.add_argument(
         "--json",
         action="store_true",
@@ -320,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the experiment's sampling/dynamics seed (if it takes one)",
     )
     _add_backend_args(experiment, for_experiment=True)
+    _add_telemetry_arg(experiment)
     experiment.add_argument(
         "--json",
         action="store_true",
@@ -416,11 +445,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the in-run result cache (every batch simulates)",
     )
+    _add_telemetry_arg(serve)
     serve.add_argument(
         "--json",
         action="store_true",
         help="emit the structured ServeResult as JSON instead of a table",
     )
+
+    obs = sub.add_parser(
+        "obs", help="summarise a telemetry JSONL log written by --telemetry"
+    )
+    obs.add_argument("action", choices=["report"], help="obs action")
+    obs.add_argument("path", metavar="PATH", help="telemetry JSONL file")
 
     sub.add_parser(
         "dynamics", help="list recovery policies and perturbation model knobs"
@@ -471,11 +507,13 @@ def _backend_selection(
         args.batch_system is not None
         or args.batch_options is not None
         or args.workdir is not None
+        or args.progress
     )
     if batch_flags and backend != "cluster":
         raise ValueError(
-            "--batch-system/--batch-options/--workdir apply only to the "
-            "cluster backend (pass --backend cluster or --batch-system NAME)"
+            "--batch-system/--batch-options/--workdir/--progress apply only "
+            "to the cluster backend (pass --backend cluster or "
+            "--batch-system NAME)"
         )
     if backend != "cluster":
         return backend, None
@@ -486,6 +524,8 @@ def _backend_selection(
         options["batch_options"] = args.batch_options
     if args.workdir is not None:
         options["workdir"] = args.workdir
+    if args.progress:
+        options["progress"] = True
     return backend, options
 
 
@@ -660,7 +700,8 @@ def run_sweep_cmd(args: argparse.Namespace) -> int:
     print(
         f"[{meta['num_points']} points via {meta['backend']} backend "
         f"(jobs={meta['jobs']}): {meta['cache_hits']} cached, "
-        f"{meta['executed_points']} executed in {meta['wall_time_s']:.2f}s]"
+        f"{meta['executed_points']} executed in "
+        f"{meta['timing']['wall_time_s']:.2f}s]"
     )
     if "rounds" in meta:
         hits = sum(r["worker_cache_hits"] for r in meta["rounds"])
@@ -854,6 +895,21 @@ def run_serve_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_obs(args: argparse.Namespace) -> int:
+    """Execute the ``obs`` subcommand (``repro obs report PATH``)."""
+    from repro.obs.export import read_events, render_report, summarize_events
+
+    try:
+        events = read_events(args.path)
+    except OSError as exc:
+        # OSError.args[0] is the bare errno; rebuild a readable message.
+        return _config_error(ValueError(f"cannot read {args.path}: {exc.strerror or exc}"))
+    except ValueError as exc:
+        return _config_error(exc)
+    print(render_report(summarize_events(events)))
+    return 0
+
+
 def run_dynamics(args: argparse.Namespace) -> int:
     """Execute the ``dynamics`` subcommand."""
     from repro.dynamics.models import PerturbationConfig
@@ -912,11 +968,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": run_experiment,
         "trace": run_trace,
         "serve": run_serve_cmd,
+        "obs": run_obs,
         "dynamics": run_dynamics,
         "list": run_list,
     }
+    telemetry_path = getattr(args, "telemetry", None)
     try:
-        return handlers[args.command](args)
+        if telemetry_path is None:
+            return handlers[args.command](args)
+        from repro.obs.export import JsonlSink
+
+        # Install the hub as the ambient default for the whole invocation:
+        # every Session/run_sweep/run_serve resolving telemetry=None picks it
+        # up, so one flag instruments the full command without plumbing.
+        with Telemetry(sink=JsonlSink(telemetry_path)) as hub:
+            with telemetry_scope(hub):
+                return handlers[args.command](args)
     except RegistryError as exc:
         return _config_error(exc)
 

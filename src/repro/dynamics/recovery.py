@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.dynamics.events import NodeFailure, PerturbationSchedule
+from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import get_recovery, register_recovery
 from repro.sim.engine import Simulator
 from repro.training.iteration import simulate_iteration
@@ -194,6 +195,7 @@ def run_resilient(
     schedule: PerturbationSchedule,
     policy: RecoveryPolicy,
     num_iterations: int = 32,
+    telemetry: Telemetry = TELEMETRY_OFF,
     **strategy_kwargs: Any,
 ) -> ResilienceReport:
     """Simulate ``num_iterations`` training iterations under a perturbation
@@ -204,7 +206,8 @@ def run_resilient(
     iteration's start; after an elastic shrink, plans are rebuilt for the
     surviving cluster through ``session.derive`` (same batches, fewer ranks),
     i.e. the strategy's own ``plan_layer``.  Everything is deterministic given
-    the session seed and the schedule.
+    the session seed and the schedule; ``telemetry`` (observational only)
+    receives one ``failure``/``recovery`` event pair per handled fault.
     """
     check_positive("num_iterations", num_iterations)
     config = session.config
@@ -278,6 +281,12 @@ def run_resilient(
         effective_time = max(failure.time_s, clock)
         partial = effective_time - clock
         failures_seen += 1
+        telemetry.event(
+            "failure",
+            node=failure.node_id,
+            vt=round(effective_time, 6),
+            iteration=i,
+        )
         ctx = FailureContext(
             failure=failure,
             time_s=effective_time,
@@ -289,6 +298,13 @@ def run_resilient(
             time_since_checkpoint_s=sum(d for _, d in since_ckpt),
         )
         action = policy.recover(ctx)
+        telemetry.event(
+            "recovery",
+            policy=policy.name,
+            downtime_s=round(action.downtime_s, 6),
+            rollback=int(action.rollback_iterations),
+            drop_node=action.drop_node,
+        )
         restarts += 1
         clock = effective_time + action.downtime_s
         time_lost += partial + action.downtime_s

@@ -17,6 +17,7 @@ import multiprocessing
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.exec.worker import execute_payload
+from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import register_backend
 
 Payload = Mapping[str, Any]
@@ -24,9 +25,16 @@ Worker = Callable[[Payload], dict]
 
 
 class ExecutionBackend:
-    """Base class for sweep execution backends."""
+    """Base class for sweep execution backends.
+
+    :attr:`telemetry` is installed by the sweep driver for the duration of
+    one :meth:`map` call; backends with internal structure worth observing
+    (the cluster backend's rounds and job lifecycle) emit events through it.
+    It defaults to the no-op hub, so backends may use it unconditionally.
+    """
 
     name = "abstract"
+    telemetry: Telemetry = TELEMETRY_OFF
 
     def __init__(self, jobs: int = 1):
         if jobs < 1:

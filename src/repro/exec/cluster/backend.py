@@ -11,16 +11,22 @@ at the mount), the payloads a later round re-covers are cache hits: later,
 larger rounds are no slower than early ones.
 
 Per-round observability (job counts, resubmissions, worker execute/hit
-counts, wall time) lands in :attr:`SweepResult.meta <repro.exec.result.SweepResult.meta>`
-via :meth:`ClusterBackend.observability`.
+counts) lands in :attr:`SweepResult.meta <repro.exec.result.SweepResult.meta>`
+via :meth:`ClusterBackend.observability`; per-round wall times live apart
+under its ``timing`` key (merged into ``meta["timing"]`` by the driver) so
+the rest of the meta is deterministic.  With a telemetry hub installed by
+the sweep driver, every round and every job submit/complete/fail/resubmit/
+cancel becomes a structured event (:mod:`repro.obs.events`), and
+``progress=True`` (CLI ``--progress``) prints a live per-round status line
+to stderr.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import sys
 import tempfile
-import time
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -75,6 +81,9 @@ class ClusterBackend(ExecutionBackend):
     timeout_s / poll_interval_s / max_resubmits:
         Per-job timeout, result-poll cadence, and in-round resubmission
         budget (see :func:`~repro.exec.cluster.submitters.run_jobs`).
+    progress:
+        Opt-in live status: print one line per completed job and per round
+        to stderr (CLI ``--progress``).  Output only — never enters results.
     submitter:
         An explicit :class:`Submitter` instance, overriding ``batch_system``
         (used by tests; normal callers select by name).
@@ -93,6 +102,7 @@ class ClusterBackend(ExecutionBackend):
         timeout_s: float | None = None,
         poll_interval_s: float = 0.1,
         max_resubmits: int = 1,
+        progress: bool = False,
         submitter: "Submitter | None" = None,
     ):
         super().__init__(jobs=jobs)
@@ -103,6 +113,7 @@ class ClusterBackend(ExecutionBackend):
         self.timeout_s = timeout_s
         self.poll_interval_s = poll_interval_s
         self.max_resubmits = max_resubmits
+        self.progress = progress
         self._submitter = submitter
         self._last_run: dict[str, Any] = {}
 
@@ -135,12 +146,15 @@ class ClusterBackend(ExecutionBackend):
         pending = list(range(len(payloads)))
         num_jobs = min(self.jobs, len(payloads))
         rounds: list[dict[str, Any]] = []
+        round_wall_times: list[float] = []
         total_resubmissions = 0
         round_index = 0
+        tele = self.telemetry
+        # Round wall time always flows through an obs span, telemetry or not.
+        stopwatch = tele.stopwatch()
 
         while pending:
             round_index += 1
-            round_start = time.perf_counter()
             jobs = []
             for j, chunk in enumerate(_chunks(pending, num_jobs)):
                 jobfile = workdir / f"r{round_index:02d}_j{j:03d}.json"
@@ -162,13 +176,25 @@ class ClusterBackend(ExecutionBackend):
                         payload_indices=chunk,
                     )
                 )
-            outcome = run_jobs(
-                submitter,
-                jobs,
-                timeout_s=self.timeout_s,
-                poll_interval_s=self.poll_interval_s,
-                max_resubmits=self.max_resubmits,
+            tele.event(
+                "round_start",
+                round=round_index,
+                jobs=len(jobs),
+                payloads=len(pending),
             )
+            on_job_done = (
+                self._progress_line(round_index, len(jobs)) if self.progress else None
+            )
+            with stopwatch.span("cluster_round", round=round_index) as round_span:
+                outcome = run_jobs(
+                    submitter,
+                    jobs,
+                    timeout_s=self.timeout_s,
+                    poll_interval_s=self.poll_interval_s,
+                    max_resubmits=self.max_resubmits,
+                    telemetry=tele,
+                    on_job_done=on_job_done,
+                )
             executed = 0
             cache_hits = 0
             done: set[int] = set()
@@ -180,6 +206,8 @@ class ClusterBackend(ExecutionBackend):
                 executed += int(stats.get("executed", 0))
                 cache_hits += int(stats.get("cache_hits", 0))
             total_resubmissions += outcome["resubmissions"]
+            round_wall_time = round(round_span.elapsed_s, 6)
+            round_wall_times.append(round_wall_time)
             rounds.append(
                 {
                     "round": round_index,
@@ -190,9 +218,28 @@ class ClusterBackend(ExecutionBackend):
                     "resubmissions": outcome["resubmissions"],
                     "worker_executed": executed,
                     "worker_cache_hits": cache_hits,
-                    "wall_time_s": round(time.perf_counter() - round_start, 6),
                 }
             )
+            tele.event(
+                "round_finish",
+                round=round_index,
+                completed_jobs=len(outcome["completed"]),
+                failed_jobs=len(outcome["failed"]),
+                resubmissions=outcome["resubmissions"],
+                dur_s=round_wall_time,
+            )
+            tele.counter("cluster_jobs_completed", len(outcome["completed"]))
+            tele.counter("cluster_worker_executed", executed)
+            tele.counter("cluster_worker_cache_hits", cache_hits)
+            if self.progress:
+                print(
+                    f"[cluster r{round_index:02d}: "
+                    f"{len(outcome['completed'])}/{len(jobs)} jobs, "
+                    f"{len(done)}/{len(pending)} payloads, "
+                    f"{outcome['resubmissions']} resubmits, "
+                    f"{round_wall_time:.1f}s]",
+                    file=sys.stderr,
+                )
             pending = [i for i in pending if i not in done]
             if pending:
                 if num_jobs == 1:
@@ -214,11 +261,32 @@ class ClusterBackend(ExecutionBackend):
             "point_cache_dir": str(cache_dir),
             "rounds": rounds,
             "resubmissions": total_resubmissions,
+            # Wall-clock stays out of the rounds themselves so everything
+            # else in meta is deterministic; the sweep driver merges this
+            # into meta["timing"].
+            "timing": {"round_wall_times_s": round_wall_times},
         }
         if auto_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
         return results
 
+    @staticmethod
+    def _progress_line(round_index: int, total_jobs: int):
+        """A ``run_jobs`` completion callback printing live status to stderr."""
+
+        def on_job_done(job: ClusterJob, done: int) -> None:
+            print(
+                f"[cluster r{round_index:02d}: job {job.name} done "
+                f"({done}/{total_jobs})]",
+                file=sys.stderr,
+            )
+
+        return on_job_done
+
     def observability(self) -> dict[str, Any]:
-        """Per-round job/timing/cache metadata of the last :meth:`map` call."""
+        """Per-round job/cache metadata of the last :meth:`map` call.
+
+        Wall-clock measurements are isolated under the ``timing`` key, which
+        the sweep driver folds into ``meta["timing"]``.
+        """
         return dict(self._last_run)

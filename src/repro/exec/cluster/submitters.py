@@ -30,9 +30,10 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.exec.cluster.jobfile import read_results
+from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import register_submitter
 
 
@@ -310,6 +311,8 @@ def run_jobs(
     timeout_s: float | None = None,
     poll_interval_s: float = 0.1,
     max_resubmits: int = 1,
+    telemetry: Telemetry = TELEMETRY_OFF,
+    on_job_done: "Callable[[ClusterJob, int], None] | None" = None,
 ) -> dict[str, Any]:
     """Submit ``jobs``, poll to completion, resubmit failures (bounded).
 
@@ -322,6 +325,11 @@ def run_jobs(
     round loop of :class:`~repro.exec.cluster.backend.ClusterBackend`) to
     re-split over the next, smaller round.
 
+    ``telemetry`` receives one structured event per lifecycle transition
+    (``job_submit``/``job_complete``/``job_fail``/``job_resubmit``/
+    ``job_cancel``); ``on_job_done(job, completed_count)`` is invoked after
+    every completion (the backend's live progress line).
+
     Returns ``{"completed": [...], "failed": [...], "resubmissions": n}``;
     completed jobs carry their parsed result document in ``job.result``.
     """
@@ -329,9 +337,20 @@ def run_jobs(
     for job in pending:
         job.handle = submitter.submit(job)
         job.submitted_at = time.monotonic()
+        telemetry.event("job_submit", job=job.name, attempt=job.attempts)
     completed: list[ClusterJob] = []
     failed: list[ClusterJob] = []
     resubmissions = 0
+
+    def _complete(job: ClusterJob) -> None:
+        submitter.finish(job.handle)
+        completed.append(job)
+        pending.remove(job)
+        telemetry.event(
+            "job_complete", job=job.name, payloads=job.num_payloads
+        )
+        if on_job_done is not None:
+            on_job_done(job, len(completed))
 
     def _finish_or_retry(job: ClusterJob, reason: str) -> None:
         nonlocal resubmissions
@@ -340,10 +359,12 @@ def run_jobs(
             resubmissions += 1
             job.handle = submitter.submit(job)
             job.submitted_at = time.monotonic()
+            telemetry.event("job_resubmit", job=job.name, attempt=job.attempts)
         else:
             job.last_error = f"{reason}: {_log_tail(job)}"
             failed.append(job)
             pending.remove(job)
+            telemetry.event("job_fail", job=job.name, reason=reason)
 
     while pending:
         progressed = False
@@ -351,9 +372,7 @@ def run_jobs(
             doc = read_results(job.result_file, expected=job.num_payloads)
             if doc is not None:
                 job.result = doc
-                submitter.finish(job.handle)
-                completed.append(job)
-                pending.remove(job)
+                _complete(job)
                 progressed = True
                 continue
             if (
@@ -361,6 +380,9 @@ def run_jobs(
                 and time.monotonic() - job.submitted_at > timeout_s
             ):
                 submitter.cancel(job.handle)
+                telemetry.event(
+                    "job_cancel", job=job.name, reason=f"timeout after {timeout_s}s"
+                )
                 _finish_or_retry(job, f"timed out after {timeout_s}s")
                 progressed = True
             elif not submitter.is_running(job.handle):
@@ -369,9 +391,7 @@ def run_jobs(
                 doc = read_results(job.result_file, expected=job.num_payloads)
                 if doc is not None:
                     job.result = doc
-                    submitter.finish(job.handle)
-                    completed.append(job)
-                    pending.remove(job)
+                    _complete(job)
                 else:
                     _finish_or_retry(job, "exited without writing a result file")
                 progressed = True

@@ -32,7 +32,10 @@ class SweepResult:
     meta:
         Execution metadata: ``backend``, ``jobs``, ``num_points``,
         ``cache_enabled``, ``cache_hits``, ``cache_misses``,
-        ``executed_points`` and ``wall_time_s``.
+        ``executed_points``, plus a ``timing`` subtree holding every
+        wall-clock measurement (``wall_time_s``, and the cluster backend's
+        ``round_wall_times_s``).  Only ``timing`` is non-deterministic, so
+        ``to_dict(include_timing=False)`` yields byte-comparable documents.
     """
 
     points: tuple[SweepPoint, ...]
@@ -151,12 +154,24 @@ class SweepResult:
 
     # -- serialisation ----------------------------------------------------------
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
+        """Plain-dict form; ``include_timing=False`` drops ``meta["timing"]``.
+
+        Wall-clock lives only under the ``timing`` key, so dropping it is
+        all it takes to make two sweeps of the same grid byte-comparable.
+        """
+        meta = dict(self.meta)
+        if not include_timing:
+            meta.pop("timing", None)
         return {
-            "meta": dict(self.meta),
+            "meta": meta,
             "points": [p.to_dict() for p in self.points],
             "results": [r.to_dict() for r in self.results],
         }
 
-    def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+    def to_json(
+        self, indent: int | None = None, include_timing: bool = True
+    ) -> str:
+        return json.dumps(
+            self.to_dict(include_timing=include_timing), indent=indent
+        )

@@ -5,12 +5,20 @@
 the ``repro sweep`` CLI subcommand.  It expands the grid, short-circuits
 cached points, hands the misses to the selected backend and reassembles
 everything — cached and fresh — into a :class:`SweepResult` in expansion
-order, with cache/backend/timing observability in ``meta``.
+order, with cache/backend observability in ``meta``.
+
+Wall-clock observability is kept apart from everything else: every
+wall-time measurement lands under the ``meta["timing"]`` subtree (and only
+there), so identity-sensitive consumers can drop one key to get
+deterministic, byte-comparable sweep JSON.  Timing is measured through
+:mod:`repro.obs` spans; with a telemetry hub attached (``telemetry=``, or
+the ambient hub installed by the CLI's ``--telemetry``), the driver also
+emits sweep/point lifecycle and cache hit/miss events.
 """
 
 from __future__ import annotations
 
-import time
+import itertools
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -20,6 +28,7 @@ from repro.exec.cache import ResultCache, as_cache, point_key
 from repro.exec.result import SweepResult
 from repro.exec.spec import SweepSpec
 from repro.exec.worker import SessionPool
+from repro.obs.core import TELEMETRY_OFF, Telemetry, as_telemetry
 from repro.registry import get_backend
 from repro.results import result_from_dict
 
@@ -58,6 +67,7 @@ def run_sweep(
     cache: "bool | str | Path | ResultCache | None" = False,
     pool: SessionPool | None = None,
     backend_options: "Mapping[str, Any] | None" = None,
+    telemetry: "Telemetry | str | Path | None" = None,
 ) -> SweepResult:
     """Execute every point of ``spec`` and collect a :class:`SweepResult`.
 
@@ -83,35 +93,75 @@ def run_sweep(
         Extra constructor keywords for a backend resolved by name, e.g.
         ``run_sweep(spec, backend="cluster", jobs=50,
         backend_options={"batch_system": "slurm", "workdir": "/nfs/sweep"})``.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` hub, a JSONL path, or ``None`` (the
+        ambient hub — off unless installed).  Purely observational: results
+        are byte-identical with telemetry on or off.
     """
-    start = time.perf_counter()
+    tele = as_telemetry(telemetry)
+    # Wall time is always measured through an obs span; stopwatch() hands
+    # back a measuring hub even when telemetry is off, so meta["timing"]
+    # stays populated.
+    stopwatch = tele.stopwatch()
     points = spec.points()
     backend_obj = resolve_backend(backend, jobs=jobs, options=backend_options)
+    backend_obj.telemetry = tele
     cache_obj = as_cache(cache)
+    tele.event(
+        "sweep_start", backend=backend_obj.name, num_points=len(points)
+    )
 
-    result_dicts: list[dict[str, Any] | None] = [None] * len(points)
-    hits = 0
-    keys: list[str | None] = [None] * len(points)
-    if cache_obj is not None:
-        for i, point in enumerate(points):
-            keys[i] = point_key(point)
-            cached = cache_obj.get(keys[i])
-            if cached is not None:
-                result_dicts[i] = cached
-                hits += 1
+    with stopwatch.span("sweep", backend=backend_obj.name) as sweep_span:
+        result_dicts: list[dict[str, Any] | None] = [None] * len(points)
+        hits = 0
+        keys: list[str | None] = [None] * len(points)
+        if cache_obj is not None:
+            for i, point in enumerate(points):
+                keys[i] = point_key(point)
+                cached = cache_obj.get(keys[i])
+                if cached is not None:
+                    result_dicts[i] = cached
+                    hits += 1
+                    tele.event("cache_hit", scope="sweep", index=i)
+                else:
+                    tele.event("cache_miss", scope="sweep", index=i)
+            tele.counter("sweep_cache_hits", hits)
+            tele.counter("sweep_cache_misses", len(points) - hits)
 
-    pending = [i for i in range(len(points)) if result_dicts[i] is None]
-    if pending:
-        payloads = [points[i].to_dict() for i in pending]
-        executed = backend_obj.map(
-            payloads, lambda payload: _worker.execute_payload(payload, pool=pool)
-        )
-        for i, result in zip(pending, executed):
-            result_dicts[i] = result
-            if cache_obj is not None and keys[i] is not None:
-                cache_obj.put(keys[i], points[i].to_dict(), result)
+        pending = [i for i in range(len(points)) if result_dicts[i] is None]
+        if pending:
+            payloads = [points[i].to_dict() for i in pending]
+            if tele.enabled:
+                # Per-point lifecycle for backends that execute in-process
+                # (serial; process/cluster backends run the module-level
+                # worker in children and are observed at round/job level).
+                position = itertools.count()
 
-    results = tuple(result_from_dict(d) for d in result_dicts)
+                def run_one(payload: Mapping[str, Any]) -> dict[str, Any]:
+                    index = pending[next(position)]
+                    tele.event("point_start", index=index)
+                    with stopwatch.span("point") as span:
+                        result = _worker.execute_payload(
+                            payload, pool=pool, telemetry=tele
+                        )
+                    tele.event(
+                        "point_finish", index=index, dur_s=round(span.elapsed_s, 6)
+                    )
+                    return result
+            else:
+
+                def run_one(payload: Mapping[str, Any]) -> dict[str, Any]:
+                    return _worker.execute_payload(payload, pool=pool)
+
+            executed = backend_obj.map(payloads, run_one)
+            for i, result in zip(pending, executed):
+                result_dicts[i] = result
+                if cache_obj is not None and keys[i] is not None:
+                    cache_obj.put(keys[i], points[i].to_dict(), result)
+
+        results = tuple(result_from_dict(d) for d in result_dicts)
+
+    timing: dict[str, Any] = {"wall_time_s": round(sweep_span.elapsed_s, 6)}
     meta = {
         "backend": backend_obj.name,
         "jobs": backend_obj.jobs,
@@ -120,10 +170,23 @@ def run_sweep(
         "cache_hits": hits,
         "cache_misses": len(pending),
         "executed_points": len(pending),
-        "wall_time_s": round(time.perf_counter() - start, 6),
+        "timing": timing,
     }
     # Backend-specific observability (e.g. the cluster backend's per-round
-    # job/timing/cache stats) rides along; driver keys take precedence.
+    # job/cache stats) rides along; driver keys take precedence, and a
+    # backend's own wall-clock measurements merge into the timing subtree.
     for key, value in backend_obj.observability().items():
-        meta.setdefault(key, value)
+        if key == "timing":
+            for timing_key, timing_value in value.items():
+                timing.setdefault(timing_key, timing_value)
+        else:
+            meta.setdefault(key, value)
+    tele.event(
+        "sweep_finish",
+        backend=backend_obj.name,
+        num_points=len(points),
+        executed=len(pending),
+        dur_s=timing["wall_time_s"],
+    )
+    backend_obj.telemetry = TELEMETRY_OFF
     return SweepResult(points=points, results=results, meta=meta)

@@ -19,6 +19,7 @@ from typing import Any, Mapping
 
 from repro.api import Session, SessionConfig
 from repro.exec.spec import SweepPoint
+from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.results import ResilienceResult, RunResult
 
 
@@ -55,27 +56,39 @@ _DEFAULT_POOL = SessionPool()
 
 
 def execute_point(
-    point: SweepPoint, pool: SessionPool | None = None
+    point: SweepPoint,
+    pool: SessionPool | None = None,
+    telemetry: Telemetry = TELEMETRY_OFF,
 ) -> RunResult | ResilienceResult:
-    """Execute one sweep point and return its structured result."""
+    """Execute one sweep point and return its structured result.
+
+    ``telemetry`` is observational only: it times the strategy execution
+    (an ``execute`` span, nested under the driver's ``sweep/point`` span
+    when one is open) and counts executed points, without touching the
+    result.
+    """
     pool = pool if pool is not None else _DEFAULT_POOL
     session = pool.get(SessionConfig(**point.session_fields()))
     strategy = point.get("strategy")
     if strategy is None:
         raise ValueError(f"sweep point has no 'strategy' field: {point!r}")
     kwargs = dict(point.get("strategy_kwargs") or {})
-    return session.run(
-        strategy,
-        label=point.get("label"),
-        perturbation=point.get("perturbation"),
-        recovery=point.get("recovery", "checkpoint_restart"),
-        num_iterations=point.get("num_iterations", 32),
-        **kwargs,
-    )
+    telemetry.counter("points_executed")
+    with telemetry.span("execute", strategy=strategy):
+        return session.run(
+            strategy,
+            label=point.get("label"),
+            perturbation=point.get("perturbation"),
+            recovery=point.get("recovery", "checkpoint_restart"),
+            num_iterations=point.get("num_iterations", 32),
+            **kwargs,
+        )
 
 
 def execute_payload(
-    payload: Mapping[str, Any], pool: SessionPool | None = None
+    payload: Mapping[str, Any],
+    pool: SessionPool | None = None,
+    telemetry: Telemetry = TELEMETRY_OFF,
 ) -> dict[str, Any]:
     """Picklable worker entry point: point dict in, result dict out.
 
@@ -84,4 +97,6 @@ def execute_payload(
     a serial and a process run of the same grid produce identical
     :class:`~repro.exec.result.SweepResult`\\ s.
     """
-    return execute_point(SweepPoint(dict(payload)), pool=pool).to_dict()
+    return execute_point(
+        SweepPoint(dict(payload)), pool=pool, telemetry=telemetry
+    ).to_dict()

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from typing import Any, Callable
+
+from repro.obs.core import current_telemetry
 
 from repro.experiments import (
     fig01_length_distributions,
@@ -49,16 +50,16 @@ def generate_report(experiments: dict[str, Callable[[], ExperimentResult]] | Non
     if experiments is None:
         experiments = _EXPERIMENTS
     report: dict[str, Any] = {"experiments": {}}
+    tele = current_telemetry().stopwatch()
     for name, runner in experiments.items():
-        start = time.perf_counter()
-        result = runner()
-        elapsed = time.perf_counter() - start
+        with tele.span("experiment", experiment=name) as span:
+            result = runner()
         report["experiments"][name] = {
             "description": result.description,
             "headers": list(result.headers),
             "rows": _jsonable(result.rows),
             "extra": _jsonable(result.extra),
-            "elapsed_s": round(elapsed, 2),
+            "elapsed_s": round(span.elapsed_s, 2),
             "table": result.to_text(),
         }
     return report

@@ -10,22 +10,21 @@ remapping, sequence partitioning, backward).
 
 from __future__ import annotations
 
-import time
-
 from repro.api import Session
 from repro.core.plan import TaskKind
 from repro.data.datasets import balanced_case_study_batch, skewed_case_study_batch
 from repro.exec import SweepSpec
 from repro.experiments.common import ExperimentResult, print_result
+from repro.obs.core import current_telemetry
 from repro.registry import register_experiment
 from repro.sim.engine import Simulator
 
 
 def _component_ranges(strategy, batch, num_layers: int) -> dict[str, tuple[float, float]]:
     """Min-max per-rank times (seconds, whole model) for each component."""
-    start = time.perf_counter()
-    plan = strategy.plan_layer(batch, phase="forward")
-    partition_s = time.perf_counter() - start
+    with current_telemetry().stopwatch().span("partition") as span:
+        plan = strategy.plan_layer(batch, phase="forward")
+    partition_s = span.elapsed_s
     sim = Simulator(record_trace=True)
     fwd = sim.run(plan)
     bwd = sim.run(strategy.plan_layer(batch, phase="backward"))

@@ -1,0 +1,260 @@
+"""O(1)-memory streaming statistics: P² quantiles and windowed rates.
+
+The serving stack's latency summaries must not store every sample — a
+million-request run would hold a million floats just to report three
+percentiles.  This module provides the bounded-state replacements:
+
+* :class:`P2Quantile` — the P² algorithm (Jain & Chlamtáč, 1985): five
+  markers track one quantile of an unbounded stream with parabolic
+  interpolation, no samples retained.
+* :class:`LatencySketch` — the consumer-facing summary: mean/max/count plus
+  a set of P² percentile estimators.  Below ``exact_threshold`` samples it
+  also keeps the raw values and reports *exact* percentiles (so small runs
+  — and every existing test — are bit-identical to the store-everything
+  implementation); past the threshold the sample list is dropped and the
+  estimators take over.
+* :class:`WindowedRate` — a ring of fixed-width time buckets giving a
+  trailing-window event rate in constant memory.
+
+Everything is deterministic: feeding the same values in the same order
+always produces the same estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+# Sample count up to which LatencySketch keeps raw values and reports exact
+# percentiles; beyond it, memory stays O(1) and P² estimates take over.
+DEFAULT_EXACT_THRESHOLD = 4096
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy convention) of ``values``.
+
+    Rejects NaN inputs (a NaN silently corrupts ``sorted()`` ordering) and
+    returns 0.0 for an empty sequence so zero-request summaries are defined.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if any(math.isnan(v) for v in values):
+        raise ValueError("percentile is undefined for NaN values")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        # Also sidesteps inf * 0.0 -> nan when interpolating at an exact rank.
+        return ordered[lo]
+    return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Five markers (minimum, three interior, maximum) hold heights and
+    positions; each observation shifts the markers toward their desired
+    positions using piecewise-parabolic (falling back to linear)
+    interpolation.  State is five floats per marker set — independent of the
+    stream length.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_pos", "_desired", "_rate")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rate = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, value: float) -> None:
+        """Observe one sample."""
+        if math.isnan(value):
+            raise ValueError("cannot add NaN to a quantile estimator")
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+
+        pos = self._pos
+        # Locate the cell the new value falls into, updating extremes.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._rate[i]
+
+        # Nudge interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - pos[i]
+            if (delta >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                delta <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        pos, h = self._pos, self._heights
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        pos, h = self._pos, self._heights
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> float:
+        """The current estimate (exact while five or fewer samples seen)."""
+        if self.count == 0:
+            return 0.0
+        if self.count <= 5:
+            return exact_percentile(self._heights, self.q * 100.0)
+        return self._heights[2]
+
+
+class LatencySketch:
+    """Bounded-memory latency summary: mean, max and percentile estimates.
+
+    Drop-in for the list-of-latencies + :func:`exact_percentile` pattern:
+    exact (bit-identical) below ``exact_threshold`` samples, O(1) memory and
+    P² estimates above it.
+    """
+
+    def __init__(
+        self,
+        quantiles: Sequence[float] = (50.0, 95.0, 99.0),
+        exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+    ):
+        self.exact_threshold = exact_threshold
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self._estimators = {q: P2Quantile(q / 100.0) for q in quantiles}
+        self._samples: "list[float] | None" = []
+
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are still computed from retained samples."""
+        return self._samples is not None
+
+    def add(self, value: float) -> None:
+        """Observe one latency sample."""
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for estimator in self._estimators.values():
+            estimator.add(value)
+        if self._samples is not None:
+            if self.count <= self.exact_threshold:
+                self._samples.append(value)
+            else:
+                self._samples = None  # cross the threshold: go O(1)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile (exact under the threshold, P² beyond)."""
+        if self._samples is not None:
+            return exact_percentile(self._samples, q)
+        estimator = self._estimators.get(q)
+        if estimator is None:
+            raise KeyError(
+                f"quantile {q} was not tracked; tracked: "
+                f"{sorted(self._estimators)}"
+            )
+        return estimator.value()
+
+    def summary(self) -> dict[str, float]:
+        """The serve-metrics latency summary shape (seconds)."""
+        return {
+            "mean_latency_s": self.mean,
+            **{
+                f"p{q:g}_latency_s": self.quantile(q)
+                for q in sorted(self._estimators)
+            },
+            "max_latency_s": self.max if self.count else 0.0,
+        }
+
+
+class WindowedRate:
+    """Trailing-window event rate over a ring of fixed-width time buckets.
+
+    ``add(t)`` drops an event into the bucket covering ``t``; ``rate(t)``
+    sums the buckets still inside ``[t - window_s, t]`` and divides by the
+    window.  Reusing a ring slot whose epoch has expired resets it, so
+    memory is ``buckets`` integers forever.  Timestamps must not move
+    backwards by more than the window (same discipline as the queue-depth
+    tracker).
+    """
+
+    def __init__(self, window_s: float = 10.0, buckets: int = 10):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.window_s = window_s
+        self._width = window_s / buckets
+        self._counts = [0] * buckets
+        self._epochs = [-1] * buckets
+        self.total = 0
+
+    def _slot(self, t: float) -> tuple[int, int]:
+        epoch = int(t / self._width)
+        return epoch, epoch % len(self._counts)
+
+    def add(self, t: float, n: int = 1) -> None:
+        """Record ``n`` events at time ``t`` (seconds)."""
+        epoch, slot = self._slot(t)
+        if self._epochs[slot] != epoch:
+            self._epochs[slot] = epoch
+            self._counts[slot] = 0
+        self._counts[slot] += n
+        self.total += n
+
+    def rate(self, t: float) -> float:
+        """Events per second over the window ending at ``t``."""
+        epoch, _ = self._slot(t)
+        oldest = epoch - len(self._counts) + 1
+        in_window = sum(
+            count
+            for count, e in zip(self._counts, self._epochs)
+            if oldest <= e <= epoch
+        )
+        # A stream younger than the window is rated over its actual age so
+        # early rates are not diluted by empty future buckets.
+        horizon = min(self.window_s, max(t, self._width))
+        return in_window / horizon

@@ -15,13 +15,16 @@ session, mix and knobs produce byte-identical results.
 from __future__ import annotations
 
 import heapq
+from pathlib import Path
 from typing import Any
 
 from repro.api import DEFAULT_COMPARISON, Session
+from repro.obs.core import Telemetry, as_telemetry
+from repro.obs.sketch import LatencySketch, WindowedRate
 from repro.results import ServeResult
 from repro.serve.arrivals import ArrivalProcess, as_arrival, as_mix
 from repro.serve.batcher import DEFAULT_CACHE_HIT_COST_S, Batcher, ExecutionBatch
-from repro.serve.metrics import QueueDepthTracker, latency_summary, request_counters
+from repro.serve.metrics import QueueDepthTracker, request_counters
 from repro.serve.queue import AdmissionPolicy, RequestQueue
 
 
@@ -50,12 +53,14 @@ class ServeSimulation:
         cache_hit_cost_s: float = DEFAULT_CACHE_HIT_COST_S,
         trace_times: Any = (),
         trace_period: float | None = None,
+        telemetry: "Telemetry | str | Path | None" = None,
     ):
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         if slo_s is not None and slo_s <= 0:
             raise ValueError(f"slo_s must be positive, got {slo_s}")
         self.session = session
+        self.telemetry = as_telemetry(telemetry)
         self.mix = as_mix(mix if mix is not None else DEFAULT_COMPARISON)
         self.arrival = as_arrival(
             arrival, rate=rate, trace_times=trace_times, trace_period=trace_period
@@ -89,7 +94,14 @@ class ServeSimulation:
         """
         if self._result is not None:
             return self._result
+        tele = self.telemetry
         tracker = QueueDepthTracker()
+        # Latency accounting is streaming: a bounded sketch and a windowed
+        # completion rate, fed as batches finish — state stays O(1) no
+        # matter how many requests the run serves.
+        sketch = LatencySketch()
+        completion_rate = WindowedRate()
+        good = 0
         in_flight: list[tuple[float, int, ExecutionBatch]] = []
         seq = 0
         i = 0
@@ -103,6 +115,15 @@ class ServeSimulation:
                 seq += 1
                 self.executions.append(batch)
                 tracker.sample(now, self.queue.depth)
+                if tele.enabled:
+                    for request in batch.requests:
+                        tele.event(
+                            "request_dispatch",
+                            request=request.rid,
+                            vt=round(now, 6),
+                            batch_size=batch.size,
+                            served_by=request.served_by,
+                        )
             next_arrival = (
                 self.requests[i].arrival_s if i < len(self.requests) else float("inf")
             )
@@ -112,25 +133,48 @@ class ServeSimulation:
             if next_arrival <= next_finish:
                 now = next_arrival
                 self.queue.push(self.requests[i])
+                if tele.enabled:
+                    tele.event(
+                        "request_enqueue",
+                        request=self.requests[i].rid,
+                        vt=round(now, 6),
+                    )
                 i += 1
             else:
                 now = next_finish
-                heapq.heappop(in_flight)
+                _, _, batch = heapq.heappop(in_flight)
+                for request in batch.requests:
+                    latency = request.latency_s
+                    sketch.add(latency)
+                    completion_rate.add(now)
+                    if self.slo_s is None or latency <= self.slo_s:
+                        good += 1
+                    if tele.enabled:
+                        tele.event(
+                            "request_complete",
+                            request=request.rid,
+                            vt=round(now, 6),
+                            latency_s=round(latency, 6),
+                        )
             tracker.sample(now, self.queue.depth)
-        self._result = self._build_result(now, tracker)
+        if tele.enabled:
+            tele.counter("serve_requests_completed", sketch.count)
+            tele.gauge("serve_completion_rps", round(completion_rate.rate(now), 6))
+        self._result = self._build_result(now, tracker, sketch, good)
         return self._result
 
     # -- aggregation -------------------------------------------------------------
 
-    def _build_result(self, end_s: float, tracker: QueueDepthTracker) -> ServeResult:
+    def _build_result(
+        self,
+        end_s: float,
+        tracker: QueueDepthTracker,
+        sketch: LatencySketch,
+        good: int,
+    ) -> ServeResult:
         makespan_s = max(self.duration_s, end_s)
         counters = request_counters(self.requests)
-        latencies = [r.latency_s for r in self.requests if r.finish_s is not None]
-        summary = latency_summary(latencies)
-        if self.slo_s is None:
-            good = counters["completed"]
-        else:
-            good = sum(1 for lat in latencies if lat <= self.slo_s)
+        summary = sketch.summary()
         return ServeResult(
             arrival=self.arrival.name,
             admission=self.queue.admission.name,
@@ -167,6 +211,9 @@ def run_serve(session: Session, mix: Any = None, **knobs: Any) -> ServeResult:
 
     See :class:`ServeSimulation` for the knobs (``rate``, ``duration_s``,
     ``arrival``, ``admission``, ``concurrency``, ``max_batch``, ``cache``,
-    ``slo_s``, ``trace_times``/``trace_period`` for ``arrival="trace"``).
+    ``slo_s``, ``trace_times``/``trace_period`` for ``arrival="trace"``,
+    and ``telemetry`` — a hub or JSONL path receiving request
+    enqueue/dispatch/complete events; purely observational, results are
+    byte-identical with telemetry on or off).
     """
     return ServeSimulation(session, mix, **knobs).run()

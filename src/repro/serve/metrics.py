@@ -9,9 +9,9 @@ same convention as ``numpy.percentile``), a latency summary, and a
 
 from __future__ import annotations
 
-import math
 from typing import Any, Sequence
 
+from repro.obs.sketch import exact_percentile
 from repro.serve.arrivals import Request
 
 
@@ -19,20 +19,12 @@ def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile of ``values`` (linear interpolation).
 
     Returns 0.0 for an empty sequence so metrics of a zero-request run are
-    well defined.
+    well defined; rejects NaN inputs, which would silently corrupt the sort
+    order.  Delegates to :func:`repro.obs.sketch.exact_percentile` — the
+    same convention the streaming :class:`~repro.obs.sketch.LatencySketch`
+    reproduces below its exact threshold.
     """
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * (q / 100.0)
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    frac = pos - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    return exact_percentile(values, q)
 
 
 def latency_summary(latencies: Sequence[float]) -> dict[str, float]:

@@ -55,7 +55,7 @@ class TestSweepCommand:
         meta = payload["meta"]
         assert meta["backend"] == "serial"
         assert meta["num_points"] == 2
-        assert "cache_hits" in meta and "wall_time_s" in meta
+        assert "cache_hits" in meta and "wall_time_s" in meta["timing"]
         assert len(payload["points"]) == len(payload["results"]) == 2
         assert payload["results"][0]["tokens_per_second"] > 0
 

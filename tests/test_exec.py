@@ -169,7 +169,7 @@ class TestRunSweep:
         assert meta["num_points"] == 2
         assert meta["cache_enabled"] is False
         assert meta["executed_points"] == 2
-        assert meta["wall_time_s"] > 0
+        assert meta["timing"]["wall_time_s"] > 0
 
     def test_results_are_structured(self, spec):
         sweep = run_sweep(spec)

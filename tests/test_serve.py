@@ -170,6 +170,17 @@ class TestMetrics:
         with pytest.raises(ValueError):
             percentile(values, 101)
 
+    def test_percentile_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, float("nan"), 3.0], 50)
+
+    def test_percentile_handles_infinities(self):
+        values = [1.0, 2.0, float("inf")]
+        # p50 lands exactly on the middle rank: no inf * 0.0 -> nan blowup.
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == float("inf")
+        assert percentile([float("-inf"), 0.0, 1.0], 0) == float("-inf")
+
     def test_queue_depth_tracker_integrates(self):
         tracker = QueueDepthTracker()
         tracker.sample(1.0, 2)  # depth 0 over [0, 1)
@@ -177,8 +188,15 @@ class TestMetrics:
         assert tracker.max_depth == 2
         assert tracker.mean_depth(4.0) == pytest.approx(1.0)  # 4 depth-seconds / 4
         assert tracker.timeline() == ((0.0, 0), (1.0, 2), (3.0, 0))
-        with pytest.raises(ValueError):
+
+    def test_queue_depth_tracker_rejects_time_backwards(self):
+        tracker = QueueDepthTracker()
+        tracker.sample(3.0, 1)
+        with pytest.raises(ValueError, match="time went backwards"):
             tracker.sample(2.0, 1)
+        # Equal timestamps are fine: multiple events at one virtual instant.
+        tracker.sample(3.0, 2)
+        assert tracker.max_depth == 2
 
 
 class TestServeSimulation:
