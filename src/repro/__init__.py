@@ -68,18 +68,20 @@ from repro.registry import (
     available_backends,
     available_experiments,
     available_recoveries,
+    available_rules,
     available_strategies,
     register_admission,
     register_arrival,
     register_backend,
     register_experiment,
     register_recovery,
+    register_rule,
     register_strategy,
 )
 from repro.results import CompareResult, ResilienceResult, RunResult, ServeResult
 from repro.training.runner import TrainingRun, TrainingRunConfig
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DEFAULT_COMPARISON",
@@ -106,12 +108,14 @@ __all__ = [
     "available_backends",
     "available_experiments",
     "available_recoveries",
+    "available_rules",
     "available_strategies",
     "register_admission",
     "register_arrival",
     "register_backend",
     "register_experiment",
     "register_recovery",
+    "register_rule",
     "register_strategy",
     "CompareResult",
     "ResilienceResult",

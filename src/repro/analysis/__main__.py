@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the static analyzer standalone."""
+
+import sys
+
+from repro.analysis.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

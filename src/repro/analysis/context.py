@@ -1,0 +1,192 @@
+"""Cross-file analysis context: config, registrations, registry tables.
+
+The driver parses every file once, then builds one :class:`AnalysisContext`
+shared by all rules.  The context carries the whole-program facts that no
+single file can answer:
+
+* every ``register_*`` registration site (decorator or direct call), for the
+  registry-completeness rule R001;
+* every ``_BUILTIN_*_MODULES`` dict literal, i.e. the lazy-registry tables
+  those registrations must appear in;
+* the closed event vocabulary (``EVENT_TYPES`` in ``obs/events.py``) that
+  rule E001 checks emission sites against.
+
+All of it is read off the ASTs — nothing is imported.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.model import SourceFile
+
+# Registry kinds with a ``register_<kind>`` decorator and a matching
+# ``_BUILTIN_<KIND>_MODULES`` table in repro.registry.
+REGISTRY_KINDS = frozenset(
+    {
+        "strategy",
+        "experiment",
+        "recovery",
+        "backend",
+        "submitter",
+        "arrival",
+        "admission",
+        "rule",
+    }
+)
+
+_TABLE_RE = re.compile(r"^_BUILTIN_([A-Z]+)_MODULES$")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Per-rule module allowlists.
+
+    ``allow_modules`` maps a rule id to module prefixes where the rule does
+    not apply: ``repro.obs`` may read the wall clock (D001) and record wall
+    times (S001) — it *is* the timing subsystem — and ``repro.config`` is
+    the one sanctioned ``os.environ`` chokepoint (D003).
+    """
+
+    allow_modules: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "AnalysisConfig":
+        return cls(
+            allow_modules={
+                "D001": ("repro.obs",),
+                "D003": ("repro.config",),
+                "S001": ("repro.obs",),
+            }
+        )
+
+    def allowed(self, rule_id: str, module: str) -> bool:
+        """True when ``module`` is allowlisted for ``rule_id``."""
+        for prefix in self.allow_modules.get(rule_id.upper(), ()):
+            if module == prefix or module.startswith(prefix + "."):
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One ``@register_<kind>("name")`` site found in an analyzed file."""
+
+    kind: str
+    name: str
+    file: SourceFile
+    node: ast.AST
+
+    @property
+    def module(self) -> str:
+        return self.file.module
+
+
+def _registration_kind(file: SourceFile, func: ast.expr) -> str | None:
+    """Registry kind of a ``register_*`` callee, or ``None``."""
+    resolved = file.resolve(func)
+    if resolved is None and isinstance(func, ast.Name):
+        resolved = func.id
+    if resolved is None:
+        return None
+    leaf = resolved.split(".")[-1]
+    if not leaf.startswith("register_"):
+        return None
+    kind = leaf[len("register_") :]
+    return kind if kind in REGISTRY_KINDS else None
+
+
+def _collect_registrations(file: SourceFile) -> list[Registration]:
+    found = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _registration_kind(file, node.func)
+        if kind is None or not node.args:
+            continue
+        name = node.args[0]
+        if not (isinstance(name, ast.Constant) and isinstance(name.value, str)):
+            continue  # dynamic registration name; out of static reach
+        found.append(Registration(kind=kind, name=name.value, file=file, node=node))
+    return found
+
+
+def _dict_of_str(node: ast.expr) -> dict[str, str] | None:
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return None
+        out[key.value.lower()] = value.value
+    return out
+
+
+class AnalysisContext:
+    """Everything the rules see: parsed files, config, cross-file tables."""
+
+    def __init__(self, files: list[SourceFile], config: AnalysisConfig):
+        self.files = files
+        self.config = config
+        self.registrations: list[Registration] = []
+        # kind -> {entry name -> providing module}, merged over all files.
+        self.registry_tables: dict[str, dict[str, str]] = {}
+        # kind -> the table's file/node, for anchoring table-side findings.
+        self.table_sites: dict[str, tuple[SourceFile, ast.AST]] = {}
+        self.event_types: frozenset[str] | None = None
+        self.event_types_origin: str | None = None
+        for file in files:
+            self.registrations.extend(_collect_registrations(file))
+            self._collect_tables(file)
+            self._collect_event_types(file)
+
+    def _collect_tables(self, file: SourceFile) -> None:
+        for node in ast.walk(file.tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            match = _TABLE_RE.match(target.id)
+            if match is None:
+                continue
+            table = _dict_of_str(node.value)
+            if table is None:
+                continue
+            kind = match.group(1).lower()
+            self.registry_tables.setdefault(kind, {}).update(table)
+            self.table_sites.setdefault(kind, (file, node))
+
+    def _collect_event_types(self, file: SourceFile) -> None:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target: ast.expr = node.targets[0]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                value = node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == "EVENT_TYPES"):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            names = frozenset(
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+            if not names:
+                continue
+            existing = self.event_types or frozenset()
+            self.event_types = existing | names
+            if self.event_types_origin is None:
+                self.event_types_origin = file.module

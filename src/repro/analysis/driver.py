@@ -1,0 +1,207 @@
+"""Analysis driver: discover files, run rules, render reports.
+
+One call — :func:`analyze_paths` — parses every ``.py`` file under the given
+paths, builds the shared :class:`AnalysisContext`, evaluates the selected
+rules from the ``RULES`` registry and returns an :class:`AnalysisReport`
+with suppressions already applied.  :func:`execute` wraps that in the CLI
+contract shared by ``repro analyze`` and ``python -m repro.analysis``:
+text or ``--json`` output, exit 0 when clean, 1 on findings, 2 on usage
+errors (unknown rule, missing path, same convention as the rest of the CLI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence, TextIO
+
+from repro.analysis.context import AnalysisConfig, AnalysisContext
+from repro.analysis.model import Finding, Rule, SourceFile
+from repro.registry import RULES, UnknownEntryError
+
+JSON_SCHEMA_VERSION = 1
+
+
+class AnalysisUsageError(ValueError):
+    """Bad invocation: nonexistent path, unknown rule id, no files."""
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    files_checked: int
+    rules: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.findings:
+            count = len(self.findings)
+            lines.append(
+                f"{count} finding{'s' if count != 1 else ''} "
+                f"({self.files_checked} {noun} checked)"
+            )
+        else:
+            summary = f"clean: {self.files_checked} {noun} checked"
+            if self.suppressed:
+                summary += f", {len(self.suppressed)} finding(s) suppressed"
+            lines.append(summary)
+        return "\n".join(lines) + "\n"
+
+
+def _discover(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisUsageError(f"no such file or directory: {raw}")
+    if not files:
+        raise AnalysisUsageError("no Python files under the given paths")
+    # De-duplicate while keeping order (a file named twice counts once).
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _select_rules(rule_ids: Iterable[str] | None) -> list[Rule]:
+    if rule_ids is None:
+        classes = [entry.obj for entry in RULES.entries()]
+    else:
+        classes = []
+        for rule_id in rule_ids:
+            try:
+                entry = RULES.get(rule_id)
+            except UnknownEntryError as exc:
+                raise AnalysisUsageError(str(exc)) from exc
+            if entry.obj not in classes:
+                classes.append(entry.obj)
+    rules = [cls() for cls in classes]
+    rules.sort(key=lambda rule: rule.id)
+    return rules
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[str] | None = None,
+    config: AnalysisConfig | None = None,
+) -> AnalysisReport:
+    """Run the selected rules over every ``.py`` file under ``paths``."""
+    config = AnalysisConfig.default() if config is None else config
+    selected = _select_rules(rules)
+    files: list[SourceFile] = []
+    findings: list[Finding] = []
+    for path in _discover(paths):
+        try:
+            files.append(SourceFile.parse(path, display_path=str(path)))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="E999",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    context = AnalysisContext(files, config)
+    by_path = {file.path: file for file in files}
+    suppressed: list[Finding] = []
+    for rule in selected:
+        for finding in rule.check(context):
+            file = by_path.get(finding.path)
+            if file is not None and file.suppressed(finding):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return AnalysisReport(
+        findings=tuple(findings),
+        suppressed=tuple(suppressed),
+        files_checked=len(files) + sum(1 for f in findings if f.rule == "E999"),
+        rules=tuple(rule.id for rule in selected),
+    )
+
+
+def execute(
+    paths: Sequence[str],
+    rules: Iterable[str] | None = None,
+    json_output: bool = False,
+    stream: TextIO | None = None,
+) -> int:
+    """CLI-shaped entry point: print a report, return the exit code."""
+    stream = sys.stdout if stream is None else stream
+    try:
+        report = analyze_paths(paths, rules=rules)
+    except AnalysisUsageError as exc:
+        print(f"repro analyze: error: {exc}", file=sys.stderr)
+        return 2
+    if json_output:
+        json.dump(report.to_dict(), stream, indent=2)
+        stream.write("\n")
+    else:
+        stream.write(report.render_text())
+    return 0 if report.clean else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static determinism & invariant linter for the repro tree.",
+    )
+    add_analyze_arguments(parser)
+    return parser
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``analyze`` argument set, shared with the ``repro`` CLI."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule (repeatable, e.g. --rule D001)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return execute(args.paths, rules=args.rules, json_output=args.json)

@@ -1,6 +1,6 @@
 """Command-line interface for the Zeppelin reproduction.
 
-Nine subcommands:
+Ten subcommands:
 
 * ``run`` — measure one strategy on one configuration, optionally under
   faults (:mod:`repro.dynamics`)::
@@ -24,7 +24,7 @@ Nine subcommands:
 
       python -m repro sweep --gpus 16 32 --datasets arxiv github --jobs 4
 
-  ``--batch-system slurm|sge|fake`` switches to the ``cluster`` backend
+  ``--batch-system slurm|sge|pbs|fake`` switches to the ``cluster`` backend
   (:mod:`repro.exec.cluster`): sweep points are serialised to job files
   under a network ``--workdir``, submitted with pass-through
   ``--batch-options``, and collected in shrinking rounds over the shared
@@ -60,9 +60,16 @@ Nine subcommands:
 
 * ``dynamics`` — show the registered recovery policies and perturbation knobs.
 
+* ``analyze`` — run the static determinism & invariant linter
+  (:mod:`repro.analysis`) over the source tree; exits 1 on findings::
+
+      python -m repro analyze src
+      python -m repro analyze --rule D001 --json src
+
 * ``list`` — show every registered model, dataset, strategy, experiment,
-  recovery policy, execution backend, batch submitter, arrival process and
-  admission policy (with descriptions), straight from the registries.
+  recovery policy, execution backend, batch submitter, arrival process,
+  admission policy and analysis rule (with descriptions), straight from the
+  registries.
 
 A single ``--seed`` drives every stochastic path — batch sampling *and* the
 perturbation schedule — so any run is reproducible from one flag.  The
@@ -104,6 +111,7 @@ from repro.registry import (
     experiment_entries,
     get_experiment,
     recovery_entries,
+    rule_entries,
     strategy_entries,
     submitter_entries,
 )
@@ -222,7 +230,7 @@ def _add_backend_args(parser: argparse.ArgumentParser, for_experiment: bool = Fa
         "--batch-system",
         default=None,
         choices=list(available_submitters()),
-        help="cluster-backend submitter (slurm/sge, or fake for local "
+        help="cluster-backend submitter (slurm/sge/pbs, or fake for local "
         "subprocesses); implies --backend cluster",
     )
     group.add_argument(
@@ -458,6 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("action", choices=["report"], help="obs action")
     obs.add_argument("path", metavar="PATH", help="telemetry JSONL file")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static determinism & invariant linter (repro.analysis)",
+    )
+    from repro.analysis.driver import add_analyze_arguments
+
+    add_analyze_arguments(analyze)
+
     sub.add_parser(
         "dynamics", help="list recovery policies and perturbation model knobs"
     )
@@ -465,7 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         "list",
         help="list registered models, datasets, strategies, experiments, "
         "recovery policies, execution backends, batch submitters, arrival "
-        "processes and admission policies",
+        "processes, admission policies and analysis rules",
     )
     return parser
 
@@ -927,6 +943,13 @@ def run_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_analyze(args: argparse.Namespace) -> int:
+    """Execute the ``analyze`` subcommand."""
+    from repro.analysis.driver import execute
+
+    return execute(args.paths, rules=args.rules, json_output=args.json)
+
+
 def run_list(args: argparse.Namespace) -> int:
     """Execute the ``list`` subcommand.
 
@@ -946,6 +969,7 @@ def run_list(args: argparse.Namespace) -> int:
         ("batch submitters", submitter_entries()),
         ("arrival processes", arrival_entries()),
         ("admission policies", admission_entries()),
+        ("analysis rules", rule_entries()),
     )
     width = max(
         len(entry.name) for _, entries in sections for entry in entries
@@ -970,6 +994,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": run_serve_cmd,
         "obs": run_obs,
         "dynamics": run_dynamics,
+        "analyze": run_analyze,
         "list": run_list,
     }
     telemetry_path = getattr(args, "telemetry", None)

@@ -1,0 +1,84 @@
+"""Sanctioned environment-variable access for the whole package.
+
+Every process-environment read in ``repro`` goes through this module.  The
+static analyzer (rule D003, :mod:`repro.analysis`) forbids ``os.environ`` /
+``os.getenv`` everywhere else, so the complete set of environment knobs the
+simulator responds to is enumerable by reading this one file:
+
+``REPRO_CACHE_DIR``
+    Root directory of the content-hash result cache
+    (:class:`repro.exec.cache.ResultCache`).  Default ``.repro_cache``.
+
+``REPRO_REMAP_SOLVER``
+    Default solver for :class:`repro.core.remapping.RemappingLayer` when a
+    strategy does not pin one explicitly: ``linprog``, ``greedy`` or ``auto``.
+    The resolved value is folded into the cache salt
+    (:func:`repro.exec.cache.cache_salt`), so flipping the knob can never
+    surface a result simulated under the other solver.
+
+Keeping the reads here — rather than scattered at use sites — is what makes
+"byte-identical results per seed" auditable: anything else that could vary
+between hosts has to pass through this chokepoint or through an explicit
+function argument.
+"""
+
+from __future__ import annotations
+
+import os
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+DEFAULT_REMAP_SOLVER = "auto"
+
+# Solvers RemappingLayer accepts; validated here so a bad environment value
+# fails at configuration time with the knob's name, not deep inside a run.
+REMAP_SOLVERS = ("linprog", "greedy", "auto")
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """One process-environment string, or ``default`` when unset/empty.
+
+    Empty values are treated as unset so ``REPRO_CACHE_DIR= repro sweep ...``
+    behaves like not exporting the variable at all.
+    """
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    return value
+
+
+def cache_dir() -> str:
+    """Resolved result-cache root: ``$REPRO_CACHE_DIR`` or the default."""
+    value = env_str("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    assert value is not None
+    return value
+
+
+def cache_dir_override() -> str | None:
+    """``$REPRO_CACHE_DIR`` if explicitly set, else ``None``.
+
+    The cluster backend uses this to decide whether worker jobfiles must
+    carry an absolute cache path (shared network mount) or can rely on each
+    worker's own working-directory default.
+    """
+    return env_str("REPRO_CACHE_DIR")
+
+
+def remap_solver() -> str:
+    """Default remapping solver: ``$REPRO_REMAP_SOLVER`` or ``auto``."""
+    value = env_str("REPRO_REMAP_SOLVER", DEFAULT_REMAP_SOLVER)
+    assert value is not None
+    if value not in REMAP_SOLVERS:
+        raise ValueError(
+            f"REPRO_REMAP_SOLVER={value!r} is not one of {REMAP_SOLVERS}"
+        )
+    return value
+
+
+def worker_environ() -> dict[str, str]:
+    """Copy of the full environment for spawned worker processes.
+
+    Local fake-batch workers inherit the parent environment (plus whatever
+    the submitter layers on top, e.g. ``PYTHONPATH``); the copy keeps
+    mutations from leaking back into this process.
+    """
+    return dict(os.environ)

@@ -42,7 +42,7 @@ class ZeppelinStrategy(Strategy):
         use_routing: bool = True,
         use_remapping: bool = True,
         balanced_chunking: bool = True,
-        remap_solver: str = "auto",
+        remap_solver: str | None = None,
     ) -> None:
         super().__init__(context)
         self.use_routing = use_routing

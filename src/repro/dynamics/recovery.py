@@ -172,7 +172,7 @@ class ResilienceReport:
 
     strategy: str
     recovery: str
-    wall_time_s: float
+    wall_time_s: float  # repro: allow(S001) virtual seconds, deterministic per seed
     useful_tokens: int
     time_lost_s: float
     restart_count: int

@@ -21,20 +21,27 @@ import uuid
 from pathlib import Path
 from typing import Any
 
+# DEFAULT_CACHE_DIR is re-exported for back-compat; the value lives with the
+# env knob it pairs with (REPRO_CACHE_DIR) in repro.config.
+from repro.config import DEFAULT_CACHE_DIR as DEFAULT_CACHE_DIR
 from repro.exec.spec import SweepPoint
 
 # Bump when the result schema or simulation semantics change in a way the
 # package version does not capture (e.g. during development).
 CACHE_SCHEMA_VERSION = 1
 
-DEFAULT_CACHE_DIR = ".repro_cache"
-
 
 def cache_salt() -> str:
-    """Code-version salt mixed into every cache key."""
-    import repro
+    """Code-version salt mixed into every cache key.
 
-    return f"{repro.__version__}/{CACHE_SCHEMA_VERSION}"
+    Includes the resolved default remapping solver: ``REPRO_REMAP_SOLVER``
+    can change simulated placements, so flipping it must never surface a
+    result cached under the other solver.
+    """
+    import repro
+    from repro.config import remap_solver
+
+    return f"{repro.__version__}/{CACHE_SCHEMA_VERSION}/remap={remap_solver()}"
 
 
 def point_key(point: SweepPoint, salt: str | None = None) -> str:
@@ -52,7 +59,9 @@ class ResultCache:
 
     def __init__(self, root: str | Path | None = None):
         if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+            from repro.config import cache_dir
+
+            root = cache_dir()
         self.root = Path(root)
 
     def _path(self, key: str) -> Path:

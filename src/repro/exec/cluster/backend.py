@@ -23,15 +23,14 @@ to stderr.
 
 from __future__ import annotations
 
-import os
 import shutil
 import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.config import cache_dir_override
 from repro.exec.backends import ExecutionBackend, Payload, Worker
-from repro.exec.cache import DEFAULT_CACHE_DIR
 from repro.exec.cluster.jobfile import result_path_for, write_jobfile
 from repro.exec.cluster.submitters import ClusterJob, Submitter, run_jobs
 from repro.registry import get_submitter, register_backend
@@ -136,7 +135,7 @@ class ClusterBackend(ExecutionBackend):
         workdir.mkdir(parents=True, exist_ok=True)
         cache_dir = self.cache_dir
         if cache_dir is None:
-            env_dir = os.environ.get("REPRO_CACHE_DIR")
+            env_dir = cache_dir_override()
             cache_dir = (
                 Path(env_dir) if env_dir else workdir / "point_cache"
             )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.config import worker_environ
 from repro.exec.cluster.jobfile import read_results
 from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import register_submitter
@@ -234,7 +235,7 @@ class FakeSubmitter(Submitter):
         import repro
 
         pkg_root = str(Path(repro.__file__).resolve().parent.parent)
-        env = dict(os.environ)
+        env = worker_environ()
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = (
             pkg_root if not existing else os.pathsep.join([pkg_root, existing])
@@ -333,10 +334,13 @@ def run_jobs(
     Returns ``{"completed": [...], "failed": [...], "resubmissions": n}``;
     completed jobs carry their parsed result document in ``job.result``.
     """
+    # Timeout arithmetic goes through an obs clock (D001): an enabled hub
+    # even when telemetry is off, so there is exactly one timing code path.
+    clock = telemetry.stopwatch().now
     pending = list(jobs)
     for job in pending:
         job.handle = submitter.submit(job)
-        job.submitted_at = time.monotonic()
+        job.submitted_at = clock()
         telemetry.event("job_submit", job=job.name, attempt=job.attempts)
     completed: list[ClusterJob] = []
     failed: list[ClusterJob] = []
@@ -358,7 +362,7 @@ def run_jobs(
             job.attempts += 1
             resubmissions += 1
             job.handle = submitter.submit(job)
-            job.submitted_at = time.monotonic()
+            job.submitted_at = clock()
             telemetry.event("job_resubmit", job=job.name, attempt=job.attempts)
         else:
             job.last_error = f"{reason}: {_log_tail(job)}"
@@ -377,7 +381,7 @@ def run_jobs(
                 continue
             if (
                 timeout_s is not None
-                and time.monotonic() - job.submitted_at > timeout_s
+                and clock() - job.submitted_at > timeout_s
             ):
                 submitter.cancel(job.handle)
                 telemetry.event(

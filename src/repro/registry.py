@@ -20,7 +20,7 @@ Public helpers:
 * :func:`register_strategy` / :func:`register_experiment` /
   :func:`register_recovery` / :func:`register_backend` /
   :func:`register_submitter` / :func:`register_arrival` /
-  :func:`register_admission` — decorators.
+  :func:`register_admission` / :func:`register_rule` — decorators.
 * :func:`get_strategy` / :func:`get_experiment` / :func:`get_recovery` /
   :func:`get_backend` / :func:`get_submitter` / :func:`get_arrival` /
   :func:`get_admission` — name
@@ -232,6 +232,7 @@ _BUILTIN_SUBMITTER_MODULES = {
     "slurm": "repro.exec.cluster.submitters",
     "sge": "repro.exec.cluster.submitters",
     "fake": "repro.exec.cluster.submitters",
+    "pbs": "repro.exec.cluster.pbs",
 }
 
 # Built-in serving arrival process name -> providing module (repro.serve).
@@ -244,6 +245,18 @@ _BUILTIN_ARRIVAL_MODULES = {
 _BUILTIN_ADMISSION_MODULES = {
     "fifo": "repro.serve.queue",
     "priority": "repro.serve.queue",
+}
+
+# Built-in static-analysis rule id -> providing module (repro.analysis).
+# Rule R001 checks this very table against the @register_rule sites, so the
+# analyzer keeps itself honest too.
+_BUILTIN_RULE_MODULES = {
+    "d001": "repro.analysis.rules_determinism",
+    "d002": "repro.analysis.rules_determinism",
+    "d003": "repro.analysis.rules_determinism",
+    "r001": "repro.analysis.rules_registry",
+    "e001": "repro.analysis.rules_events",
+    "s001": "repro.analysis.rules_results",
 }
 
 # Long-form aliases (the experiment module basenames) accepted anywhere an
@@ -268,6 +281,7 @@ BACKENDS = Registry("execution backend", _BUILTIN_BACKEND_MODULES)
 SUBMITTERS = Registry("batch submitter", _BUILTIN_SUBMITTER_MODULES)
 ARRIVALS = Registry("arrival process", _BUILTIN_ARRIVAL_MODULES)
 ADMISSIONS = Registry("admission policy", _BUILTIN_ADMISSION_MODULES)
+RULES = Registry("analysis rule", _BUILTIN_RULE_MODULES)
 
 
 def register_strategy(
@@ -427,6 +441,29 @@ def admission_entries() -> tuple[RegistryEntry, ...]:
 
 def unregister_admission(name: str) -> None:
     ADMISSIONS.unregister(name)
+
+
+def register_rule(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a static-analysis rule by id (e.g. d001)."""
+    return RULES.decorator(name, description=description, **metadata)
+
+
+def get_rule(name: str) -> RegistryEntry:
+    return RULES.get(name)
+
+
+def available_rules() -> tuple[str, ...]:
+    return RULES.names()
+
+
+def rule_entries() -> tuple[RegistryEntry, ...]:
+    return RULES.entries()
+
+
+def unregister_rule(name: str) -> None:
+    RULES.unregister(name)
 
 
 def unregister_strategy(name: str) -> None:

@@ -140,7 +140,7 @@ class ResilienceResult:
     recovery: str
     goodput_tokens_per_second: float
     healthy_tokens_per_second: float
-    wall_time_s: float
+    wall_time_s: float  # repro: allow(S001) virtual seconds, deterministic per seed
     time_lost_s: float
     restart_count: int
     num_failures: int
@@ -181,7 +181,7 @@ class ResilienceResult:
             "goodput_tokens_per_second": self.goodput_tokens_per_second,
             "healthy_tokens_per_second": self.healthy_tokens_per_second,
             "goodput_fraction": self.goodput_fraction,
-            "wall_time_s": self.wall_time_s,
+            "wall_time_s": self.wall_time_s,  # repro: allow(S001) virtual time
             "time_lost_s": self.time_lost_s,
             "restart_count": self.restart_count,
             "num_failures": self.num_failures,

@@ -1,0 +1,11 @@
+"""Known-bad fixture for D001: wall-clock reads outside repro.obs."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = time.time()
+    elapsed = time.monotonic() - started
+    today = datetime.now()
+    return elapsed + today.timestamp()

@@ -1,0 +1,15 @@
+"""Known-bad fixture for D002: unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    unseeded = random.Random()
+    entropy = random.SystemRandom()
+    legacy = np.random.rand(3)
+    gen = np.random.default_rng()
+    return random.random() + unseeded.random() + entropy.random() + float(
+        legacy[0] + gen.standard_normal()
+    )

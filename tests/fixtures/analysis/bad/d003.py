@@ -1,0 +1,8 @@
+"""Known-bad fixture for D003: direct environment reads."""
+
+import os
+
+
+def resolve_cache() -> str:
+    fallback = os.getenv("REPRO_FALLBACK", ".")
+    return os.environ.get("REPRO_CACHE_DIR", fallback)

@@ -1,0 +1,10 @@
+"""Known-bad fixture for E001: an event type outside the vocabulary."""
+
+EVENT_TYPES = {
+    "span": frozenset({"name", "dur_s"}),
+    "counter": frozenset({"name", "value"}),
+}
+
+
+def emit(tele) -> None:
+    tele.event("unplanned_type", detail=1)

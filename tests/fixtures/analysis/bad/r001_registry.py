@@ -1,0 +1,5 @@
+"""Known-bad fixture for R001: the table forgot the plugin module."""
+
+_BUILTIN_SUBMITTER_MODULES = {
+    "listed": "some_other_module",
+}

@@ -1,0 +1,12 @@
+"""Known-bad fixture for S001: wall-clock data outside meta["timing"]."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadResult:
+    tokens: int
+    wall_time_s: float
+
+    def to_dict(self) -> dict:
+        return {"tokens": self.tokens, "wall_time_s": self.wall_time_s}

@@ -1,0 +1,12 @@
+"""Known-good fixture for D001: timing flows through repro.obs."""
+
+import time
+
+from repro.obs.core import TELEMETRY_OFF
+
+
+def measure() -> float:
+    watch = TELEMETRY_OFF.stopwatch()
+    with watch.span("work") as span:
+        time.sleep(0)  # sleeping is fine; *reading* the clock is not
+    return span.elapsed_s

@@ -1,0 +1,12 @@
+"""Known-good fixture for D002: every stream takes an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    legacy = np.random.RandomState(seed)
+    return rng.random() + float(gen.standard_normal()) + float(legacy.rand())

@@ -1,0 +1,7 @@
+"""Known-good fixture for D003: env access through repro.config."""
+
+from repro.config import cache_dir
+
+
+def resolve_cache() -> str:
+    return cache_dir()

@@ -1,0 +1,11 @@
+"""Known-good fixture for E001: emissions stay inside the vocabulary."""
+
+EVENT_TYPES = {
+    "span": frozenset({"name", "dur_s"}),
+    "counter": frozenset({"name", "value"}),
+}
+
+
+def emit(tele, kind: str) -> None:
+    tele.event("span", name="work", dur_s=0.5)
+    tele.event(kind, name="dynamic-types-are-runtime-checked")

@@ -1,0 +1,8 @@
+"""Known-good fixture for R001: registered and listed, in agreement."""
+
+from repro.registry import register_submitter
+
+
+@register_submitter("widget")
+class WidgetSubmitter:
+    """A submitter the table lists under this module."""

@@ -1,0 +1,5 @@
+"""Known-good fixture for R001: the table lists the plugin module."""
+
+_BUILTIN_SUBMITTER_MODULES = {
+    "widget": "r001_plugin",
+}

@@ -1,0 +1,12 @@
+"""Known-good fixture for S001: wall-clock data under meta["timing"]."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodResult:
+    tokens: int
+
+    def to_dict(self) -> dict:
+        timing = {"wall_time_s": 1.25}
+        return {"tokens": self.tokens, "meta": {"timing": timing}}

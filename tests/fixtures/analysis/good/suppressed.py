@@ -1,0 +1,7 @@
+"""Fixture for inline suppression: a justified pragma silences the rule."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow(D001) fixture demonstrating suppression

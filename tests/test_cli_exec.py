@@ -1,6 +1,7 @@
 """Tests for the sweep-execution CLI surface (`repro sweep`, experiment flags)."""
 
 import json
+import re
 
 import pytest
 
@@ -153,6 +154,48 @@ class TestListBackends:
         out = capsys.readouterr().out
         assert "batch submitters:" in out
         assert "slurm" in out and "sge" in out and "fake" in out
+        assert "pbs" in out
+
+    def test_list_shows_analysis_rules(self, capsys):
+        """The rules registry renders through the same table as the others."""
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis rules:" in out
+        for rule_id in ("d001", "d002", "d003", "e001", "r001", "s001"):
+            assert rule_id in out
+        # Same table shape as every other section: two-space indent, name
+        # padded to the shared width, description starting at one column.
+        rows = {
+            line.split()[0]: line
+            for line in out.splitlines()
+            if line.startswith("  ")
+        }
+        desc_col = re.match(r"  \S+\s+", rows["serial"]).end()
+        assert re.match(r"  \S+\s+", rows["d001"]).end() == desc_col
+
+
+class TestAnalyzeCommand:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["analyze", "src"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_fixture_exits_one_with_anchors(self, capsys):
+        assert main(["analyze", "tests/fixtures/analysis/bad/d001.py"]) == 1
+        out = capsys.readouterr().out
+        assert "d001.py:" in out and "D001" in out
+
+    def test_rule_filter_and_json(self, capsys):
+        rc = main(
+            ["analyze", "--rule", "D003", "--json",
+             "tests/fixtures/analysis/bad/d003.py"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rules"] == ["D003"]
+        assert all(f["rule"] == "D003" for f in doc["findings"])
+
+    def test_unknown_rule_exits_config_error(self, capsys):
+        assert main(["analyze", "--rule", "zzz", "src"]) == CONFIG_ERROR_EXIT_CODE
 
 
 class TestClusterCliFlags:
@@ -173,7 +216,7 @@ class TestClusterCliFlags:
 
     def test_unknown_batch_system_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "--batch-system", "pbs"])
+            build_parser().parse_args(["sweep", "--batch-system", "lsf"])
 
     def test_batch_system_implies_cluster_backend(self, capsys):
         assert main(self._GRID + ["--batch-system", "fake", "--jobs", "2"]) == 0

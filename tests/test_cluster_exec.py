@@ -24,6 +24,7 @@ from repro.exec.cluster import (
     write_jobfile,
     write_results,
 )
+from repro.exec.cluster.pbs import PbsSubmitter
 from repro.exec.cluster.worker import run_jobfile
 from repro.exec.worker import execute_payload
 from repro.registry import available_backends, available_submitters, get_submitter
@@ -148,8 +149,9 @@ class TestWorker:
 
 class TestSubmitterRegistry:
     def test_builtin_submitters_listed(self):
-        assert set(available_submitters()) >= {"slurm", "sge", "fake"}
+        assert set(available_submitters()) >= {"slurm", "sge", "fake", "pbs"}
         assert get_submitter("slurm").obj is SlurmSubmitter
+        assert get_submitter("pbs").obj is PbsSubmitter
         assert get_submitter("fake").description
 
     def test_cluster_backend_registered(self):
@@ -181,6 +183,10 @@ class RecordingSlurm(_RecordingMixin, SlurmSubmitter):
 
 
 class RecordingSge(_RecordingMixin, SgeSubmitter):
+    pass
+
+
+class RecordingPbs(_RecordingMixin, PbsSubmitter):
     pass
 
 
@@ -254,6 +260,41 @@ class TestSgeTemplate:
 
     def test_poll_and_cancel_commands(self, tmp_path):
         sub = RecordingSge()
+        handle = sub.submit(_job(tmp_path))
+        assert sub.is_running(handle) is True
+        sub.queue_alive = False
+        assert sub.is_running(handle) is False
+        sub.cancel(handle)
+        tools = [argv[0] for argv in sub.calls]
+        assert tools == ["qsub", "qstat", "qstat", "qdel"]
+
+
+class TestPbsTemplate:
+    def test_submit_command_template(self, tmp_path):
+        sub = RecordingPbs(batch_options="-q long -l mem=16gb", workdir=tmp_path)
+        job = _job(tmp_path)
+        handle = sub.submit(job)
+        assert handle == "4242"
+        (argv,) = sub.calls
+        assert argv[0] == "qsub"
+        assert argv[argv.index("-N") + 1] == job.name
+        # Joined stdout/stderr at our log path.
+        assert argv[argv.index("-j") + 1] == "oe"
+        assert argv[argv.index("-o") + 1] == str(job.log_path)
+        assert argv[argv.index("-d") + 1] == str(tmp_path)
+        assert "-q" in argv and "long" in argv
+        # Direct-mode separator, then the worker command verbatim and last.
+        assert argv[-len(job.command()) - 1] == "--"
+        assert argv[-len(job.command()):] == job.command()
+
+    def test_workdir_omitted_without_one(self, tmp_path):
+        sub = RecordingPbs()
+        sub.submit(_job(tmp_path))
+        (argv,) = sub.calls
+        assert "-d" not in argv
+
+    def test_poll_and_cancel_commands(self, tmp_path):
+        sub = RecordingPbs()
         handle = sub.submit(_job(tmp_path))
         assert sub.is_running(handle) is True
         sub.queue_alive = False

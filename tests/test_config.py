@@ -1,0 +1,80 @@
+"""Tests for repro.config — the sanctioned environment-access chokepoint."""
+
+import pytest
+
+from repro import config
+from repro.core.remapping import RemappingLayer
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, cache_salt
+
+
+class TestEnvStr:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert config.env_str("REPRO_TEST_KNOB", "fallback") == "fallback"
+        assert config.env_str("REPRO_TEST_KNOB") is None
+
+    def test_set_returns_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "value")
+        assert config.env_str("REPRO_TEST_KNOB", "fallback") == "value"
+
+    def test_empty_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "")
+        assert config.env_str("REPRO_TEST_KNOB", "fallback") == "fallback"
+
+
+class TestCacheDir:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert config.cache_dir() == config.DEFAULT_CACHE_DIR == DEFAULT_CACHE_DIR
+        assert config.cache_dir_override() is None
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert config.cache_dir() == str(tmp_path / "cache")
+        assert config.cache_dir_override() == str(tmp_path / "cache")
+
+    def test_result_cache_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert ResultCache().root == tmp_path / "cache"
+
+
+class TestRemapSolver:
+    def test_default_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REMAP_SOLVER", raising=False)
+        assert config.remap_solver() == "auto"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMAP_SOLVER", "greedy")
+        assert config.remap_solver() == "greedy"
+
+    def test_invalid_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMAP_SOLVER", "gurobi")
+        with pytest.raises(ValueError, match="REPRO_REMAP_SOLVER"):
+            config.remap_solver()
+
+    def test_remapping_layer_resolves_default(self, monkeypatch, cluster_a2):
+        monkeypatch.setenv("REPRO_REMAP_SOLVER", "greedy")
+        assert RemappingLayer(cluster=cluster_a2).solver == "greedy"
+        monkeypatch.delenv("REPRO_REMAP_SOLVER")
+        assert RemappingLayer(cluster=cluster_a2).solver == "auto"
+
+    def test_explicit_solver_wins_over_env(self, monkeypatch, cluster_a2):
+        monkeypatch.setenv("REPRO_REMAP_SOLVER", "greedy")
+        assert RemappingLayer(cluster=cluster_a2, solver="linprog").solver == (
+            "linprog"
+        )
+
+    def test_cache_salt_folds_in_solver(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REMAP_SOLVER", raising=False)
+        assert "remap=auto" in cache_salt()
+        monkeypatch.setenv("REPRO_REMAP_SOLVER", "greedy")
+        assert "remap=greedy" in cache_salt()
+
+
+class TestWorkerEnviron:
+    def test_copy_does_not_leak_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "original")
+        env = config.worker_environ()
+        assert env["REPRO_TEST_KNOB"] == "original"
+        env["REPRO_TEST_KNOB"] = "mutated"
+        assert config.env_str("REPRO_TEST_KNOB") == "original"
