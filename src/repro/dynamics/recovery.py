@@ -30,8 +30,14 @@ from repro.dynamics.events import NodeFailure, PerturbationSchedule
 from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import get_recovery, register_recovery
 from repro.sim.engine import Simulator
-from repro.training.iteration import simulate_iteration
+from repro.training.iteration import simulate_iteration, simulate_iteration_states
 from repro.utils.validation import check_non_negative, check_positive
+
+# A cache miss in the resilience driver prefetches the same iteration under
+# the factor states of upcoming slowdown onsets (they are known from the
+# schedule), batching up to this many states into one lane-parallel
+# simulation.  Bounded so a long slowdown tail cannot balloon one miss.
+_PREFETCH_STATES = 8
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.api import Session
@@ -219,9 +225,10 @@ def run_resilient(
     # condition changes only at perturbation onsets and failures, so nearly
     # every iteration is a cache hit.
     iteration_cache: dict[tuple, float] = {}
-    # One simulator serves every cache miss; the plans it re-times come out of
-    # the session plan caches with their CompiledPlan already built, so a
-    # resilience run compiles each (strategy, batch, phase, nodes) plan once.
+    # Single-state misses share one simulator; multi-state misses batch
+    # through the lane kernel.  Either way the plans come out of the session
+    # plan caches with their CompiledPlan already built, so a resilience run
+    # compiles each (strategy, batch, phase, nodes) plan once.
     simulator = Simulator(record_trace=False)
 
     def iteration_time(nodes: int, batch_index: int, clock: float) -> float:
@@ -236,12 +243,42 @@ def run_resilient(
             else session.derive(num_gpus=nodes * gpus_per_node)
         )
         strat = sess.strategy(strategy, **strategy_kwargs)
-        events = schedule.active_resource_events(clock, session.cluster)
-        result = simulate_iteration(
-            strat, batches[batch_index], simulator=simulator, events=events
-        )
-        iteration_cache[key] = result.iteration_time_s
-        return result.iteration_time_s
+        # The factor state only changes at slowdown onsets, so the states
+        # this run will need later are already known.  A miss therefore
+        # prefetches: the same iteration under the current state plus the
+        # next distinct upcoming states runs as lanes of one batched
+        # simulation (same plans, different speed schedules), priming the
+        # cache for the iterations that cross those onsets.
+        states = [(key, schedule.active_resource_events(clock, session.cluster))]
+        seen = {key}
+        for event in schedule.slowdowns:
+            if len(states) >= _PREFETCH_STATES:
+                break
+            if event.time_s <= clock:
+                continue
+            future = schedule.active_factors(event.time_s, session.cluster)
+            future_key = (nodes, batch_index, tuple(sorted(future.items())))
+            if future_key in seen or future_key in iteration_cache:
+                continue
+            seen.add(future_key)
+            states.append(
+                (
+                    future_key,
+                    schedule.active_resource_events(event.time_s, session.cluster),
+                )
+            )
+        if len(states) == 1:
+            result = simulate_iteration(
+                strat, batches[batch_index], simulator=simulator, events=states[0][1]
+            )
+            iteration_cache[key] = result.iteration_time_s
+        else:
+            results = simulate_iteration_states(
+                strat, batches[batch_index], [events for _, events in states]
+            )
+            for (state_key, _), state_result in zip(states, results):
+                iteration_cache[state_key] = state_result.iteration_time_s
+        return iteration_cache[key]
 
     pending_failures = list(schedule.failures)
     clock = 0.0

@@ -4,11 +4,14 @@
 to a job file under the (network) workdir, submits the lot through the
 selected :mod:`submitter <repro.exec.cluster.submitters>`, and collects the
 partial results.  Payloads whose jobs failed past their resubmission budget
-carry over to the next round, re-split over ~1.6x fewer, larger jobs —
-partis's hierarchical merge discipline.  Because every worker writes each
-finished point into the shared point cache (``$REPRO_CACHE_DIR``, pointed
-at the mount), the payloads a later round re-covers are cache hits: later,
-larger rounds are no slower than early ones.
+carry over to the next round, re-split over fewer, larger jobs — partis's
+hierarchical merge discipline, with the next round's job count sized from
+the per-point wall time observed in the round just finished (falling back
+to a fixed ~1.6x shrink when the round produced no timing signal).  Because
+every worker writes each finished point into the shared point cache
+(``$REPRO_CACHE_DIR``, pointed at the mount), the payloads a later round
+re-covers are cache hits: later, larger rounds are no slower than early
+ones.
 
 Per-round observability (job counts, resubmissions, worker execute/hit
 counts) lands in :attr:`SweepResult.meta <repro.exec.result.SweepResult.meta>`
@@ -36,7 +39,46 @@ from repro.exec.cluster.submitters import ClusterJob, Submitter, run_jobs
 from repro.registry import get_submitter, register_backend
 
 # Worker count divisor between consecutive rounds (partis reduces ~1.6x).
+# Used directly when a round produced no timing signal; otherwise the next
+# round is sized adaptively from the observed per-point wall time (see
+# :func:`_adaptive_jobs`).
 SHRINK_FACTOR = 1.6
+
+# Floor for the per-job wall time the adaptive sizing aims at: chunks small
+# enough to finish faster than this are dominated by scheduler latency, so
+# the estimate never targets jobs shorter than it.
+MIN_JOB_WALL_S = 1.0
+
+
+def _adaptive_jobs(
+    pending: int,
+    completed_payloads: int,
+    completed_jobs: int,
+    round_wall_s: float,
+    prev_jobs: int,
+) -> int:
+    """Size the next retry round from the previous round's observed rate.
+
+    Estimates the per-point wall time of the previous round (its wall time
+    was set by the slowest of ``completed_jobs`` roughly equal chunks, so
+    one point costs about ``wall * jobs / payloads``), then picks the job
+    count whose chunks of the ``pending`` remainder each take about
+    ``SHRINK_FACTOR`` times the previous round's wall time — fewer, larger
+    jobs, but proportioned to the actual work left instead of a fixed
+    divisor.  Falls back to the fixed shrink when the previous round
+    yielded no signal (nothing completed, or zero measured wall time).
+
+    The result is always clamped into ``[1, prev_jobs - 1]``: rounds must
+    strictly shrink so the escalation terminates at one worker no matter
+    what the timing data says.
+    """
+    shrunk = max(1, min(prev_jobs - 1, int(prev_jobs / SHRINK_FACTOR)))
+    if completed_payloads <= 0 or completed_jobs <= 0 or round_wall_s <= 0.0:
+        return shrunk
+    per_point_s = round_wall_s * completed_jobs / completed_payloads
+    target_job_s = max(SHRINK_FACTOR * round_wall_s, MIN_JOB_WALL_S)
+    estimate = int(pending * per_point_s / target_job_s)
+    return max(1, min(prev_jobs - 1, estimate))
 
 
 def _chunks(indices: Sequence[int], jobs: int) -> list[tuple[int, ...]]:
@@ -251,8 +293,16 @@ class ClusterBackend(ExecutionBackend):
                         f"unfinished after {round_index} rounds down to one "
                         f"worker (workdir kept at {workdir}): {errors}"
                     )
-                # partis discipline: fewer, larger jobs each retry round.
-                num_jobs = max(1, min(num_jobs - 1, int(num_jobs / SHRINK_FACTOR)))
+                # partis discipline: fewer, larger jobs each retry round,
+                # sized from the round we just observed when it produced a
+                # timing signal.
+                num_jobs = _adaptive_jobs(
+                    len(pending),
+                    len(done),
+                    len(outcome["completed"]),
+                    round_wall_time,
+                    num_jobs,
+                )
 
         self._last_run = {
             "batch_system": self.batch_system,

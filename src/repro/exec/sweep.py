@@ -5,7 +5,11 @@
 the ``repro sweep`` CLI subcommand.  It expands the grid, short-circuits
 cached points, hands the misses to the selected backend and reassembles
 everything — cached and fresh — into a :class:`SweepResult` in expansion
-order, with cache/backend observability in ``meta``.
+order, with cache/backend observability in ``meta``.  Before fan-out the
+driver also collapses points whose execution identity (canonical JSON, tags
+excluded) is the same — tagged replicas of one configuration execute once
+and share the result, with the collapsed count reported as
+``meta["deduped"]``.
 
 Wall-clock observability is kept apart from everything else: every
 wall-time measurement lands under the ``meta["timing"]`` subtree (and only
@@ -68,6 +72,7 @@ def run_sweep(
     pool: SessionPool | None = None,
     backend_options: "Mapping[str, Any] | None" = None,
     telemetry: "Telemetry | str | Path | None" = None,
+    dedup: bool = True,
 ) -> SweepResult:
     """Execute every point of ``spec`` and collect a :class:`SweepResult`.
 
@@ -97,6 +102,11 @@ def run_sweep(
         A :class:`~repro.obs.Telemetry` hub, a JSONL path, or ``None`` (the
         ambient hub — off unless installed).  Purely observational: results
         are byte-identical with telemetry on or off.
+    dedup:
+        Collapse points with identical execution identity before fan-out
+        (default).  ``False`` ships every uncached point to a worker —
+        useful when the fan-out itself is the point, e.g. load-testing a
+        backend.  Results are identical either way.
     """
     tele = as_telemetry(telemetry)
     # Wall time is always measured through an obs span; stopwatch() hands
@@ -129,8 +139,26 @@ def run_sweep(
             tele.counter("sweep_cache_misses", len(points) - hits)
 
         pending = [i for i in range(len(points)) if result_dicts[i] is None]
+        unique: list[int] = []
+        duplicate_of: dict[int, int] = {}
         if pending:
-            payloads = [points[i].to_dict() for i in pending]
+            # Driver-side dedup: points with identical execution identity
+            # (canonical JSON — tags excluded) collapse to one payload
+            # before fan-out, so tagged replicas never ship to a worker
+            # just to resolve via the shared cache.
+            if dedup:
+                first_by_identity: dict[str, int] = {}
+                for i in pending:
+                    identity = points[i].canonical_json()
+                    first = first_by_identity.get(identity)
+                    if first is None:
+                        first_by_identity[identity] = i
+                        unique.append(i)
+                    else:
+                        duplicate_of[i] = first
+            else:
+                unique = list(pending)
+            payloads = [points[i].to_dict() for i in unique]
             if tele.enabled:
                 # Per-point lifecycle for backends that execute in-process
                 # (serial; process/cluster backends run the module-level
@@ -138,7 +166,7 @@ def run_sweep(
                 position = itertools.count()
 
                 def run_one(payload: Mapping[str, Any]) -> dict[str, Any]:
-                    index = pending[next(position)]
+                    index = unique[next(position)]
                     tele.event("point_start", index=index)
                     with stopwatch.span("point") as span:
                         result = _worker.execute_payload(
@@ -154,10 +182,13 @@ def run_sweep(
                     return _worker.execute_payload(payload, pool=pool)
 
             executed = backend_obj.map(payloads, run_one)
-            for i, result in zip(pending, executed):
+            for i, result in zip(unique, executed):
                 result_dicts[i] = result
                 if cache_obj is not None and keys[i] is not None:
                     cache_obj.put(keys[i], points[i].to_dict(), result)
+            # Fan the executed results back out to the collapsed replicas.
+            for i, first in duplicate_of.items():
+                result_dicts[i] = result_dicts[first]
 
         results = tuple(result_from_dict(d) for d in result_dicts)
 
@@ -169,7 +200,8 @@ def run_sweep(
         "cache_enabled": cache_obj is not None,
         "cache_hits": hits,
         "cache_misses": len(pending),
-        "executed_points": len(pending),
+        "executed_points": len(unique),
+        "deduped": len(duplicate_of),
         "timing": timing,
     }
     # Backend-specific observability (e.g. the cluster backend's per-round
@@ -185,7 +217,7 @@ def run_sweep(
         "sweep_finish",
         backend=backend_obj.name,
         num_points=len(points),
-        executed=len(pending),
+        executed=len(unique),
         dur_s=timing["wall_time_s"],
     )
     backend_obj.telemetry = TELEMETRY_OFF

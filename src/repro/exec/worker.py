@@ -10,16 +10,20 @@ repeated :meth:`Session.compare` calls do.  Because the engine's
 :class:`~repro.sim.compile.CompiledPlan` is cached on each plan object, that
 sharing also amortises plan compilation: only the first point simulating a
 given (strategy, batch, phase) pays the compile, every other point goes
-straight to the hot loop.
+straight to the hot loop.  Simulation itself is batched too: a point's
+measurement funnels through :mod:`repro.sim.batch`, so the iterations of
+plans sharing a structure within the pool execute as lanes of one
+lane-parallel event loop instead of N sequential ones.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Mapping
 
 from repro.api import Session, SessionConfig
 from repro.exec.spec import SweepPoint
-from repro.obs.core import TELEMETRY_OFF, Telemetry
+from repro.obs.core import TELEMETRY_OFF, Telemetry, telemetry_scope
 from repro.results import ResilienceResult, RunResult
 
 
@@ -65,7 +69,11 @@ def execute_point(
     ``telemetry`` is observational only: it times the strategy execution
     (an ``execute`` span, nested under the driver's ``sweep/point`` span
     when one is open) and counts executed points, without touching the
-    result.
+    result.  While the point runs, an enabled hub is also installed as the
+    ambient default so the batched simulation kernel's ``batch_simulate``
+    events (:mod:`repro.sim.batch` — the point's iterations simulate as
+    lanes over shared plan structures within this pool) land on the same
+    stream.
     """
     pool = pool if pool is not None else _DEFAULT_POOL
     session = pool.get(SessionConfig(**point.session_fields()))
@@ -74,7 +82,10 @@ def execute_point(
         raise ValueError(f"sweep point has no 'strategy' field: {point!r}")
     kwargs = dict(point.get("strategy_kwargs") or {})
     telemetry.counter("points_executed")
-    with telemetry.span("execute", strategy=strategy):
+    scope = (
+        telemetry_scope(telemetry) if telemetry.enabled else contextlib.nullcontext()
+    )
+    with scope, telemetry.span("execute", strategy=strategy):
         return session.run(
             strategy,
             label=point.get("label"),

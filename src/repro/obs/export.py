@@ -112,8 +112,8 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
 
     Returns a plain dict: per-type event counts, a span time breakdown
     (count, total seconds per span path), cache hit/miss tallies by scope,
-    cluster job lifecycle totals, request latency aggregates, and the final
-    values of any flushed counters/gauges.
+    cluster job lifecycle totals, request latency aggregates, batched
+    simulation totals, and the final values of any flushed counters/gauges.
     """
     type_counts: dict[str, int] = {}
     spans: dict[str, dict[str, float]] = {}
@@ -126,6 +126,7 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "cancelled": 0,
     }
     requests = {"completed": 0, "latency_sum_s": 0.0, "latency_max_s": 0.0}
+    batch = {"calls": 0, "lanes": 0, "deduped": 0, "structures": 0}
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
     first_t: float | None = None
@@ -159,6 +160,11 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             latency = float(doc["latency_s"])
             requests["latency_sum_s"] += latency
             requests["latency_max_s"] = max(requests["latency_max_s"], latency)
+        elif event_type == "batch_simulate":
+            batch["calls"] += 1
+            batch["lanes"] += int(doc["lanes"])
+            batch["deduped"] += int(doc["deduped"])
+            batch["structures"] += int(doc["structures"])
         elif event_type == "counter":
             counters[doc["name"]] = int(doc["value"])
         elif event_type == "gauge":
@@ -172,6 +178,7 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "cache": {scope: cache[scope] for scope in sorted(cache)},
         "jobs": jobs,
         "requests": requests,
+        "batch": batch,
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
     }
@@ -212,6 +219,15 @@ def render_report(summary: Mapping[str, Any]) -> str:
     if any(summary["jobs"].values()):
         rows = [[name, count] for name, count in summary["jobs"].items()]
         parts.append(render_table(["cluster jobs", "count"], rows))
+    if summary.get("batch", {}).get("calls"):
+        batch = summary["batch"]
+        rows = [
+            ["calls", batch["calls"]],
+            ["lanes", batch["lanes"]],
+            ["deduped", batch["deduped"]],
+            ["structures", batch["structures"]],
+        ]
+        parts.append(render_table(["batch simulate", "count"], rows))
     if summary["requests"]["completed"]:
         completed = summary["requests"]["completed"]
         rows = [

@@ -11,6 +11,14 @@ plan compilation and batch sampling are shared across requests exactly like
 across sweep points — plus an in-run result cache keyed by the point's
 canonical JSON (the same identity :mod:`repro.exec.cache` hashes), so a cell
 seen twice skips the simulation entirely.
+
+Below the cache sits the batched simulation kernel: a cell's simulation runs
+through :func:`~repro.training.throughput.measure_throughput`, whose
+per-step iterations execute as lanes of one :mod:`repro.sim.batch` pass —
+repeated sampled batches inside one virtual-time step dedup to a single
+lane, and structure-sharing steps amortise the event-loop setup.  With the
+driver's telemetry hub attached, the kernel's ``batch_simulate`` events land
+on the same stream as the request lifecycle events.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Any
 from repro.api import Session
 from repro.exec.spec import SweepPoint
 from repro.exec.worker import SessionPool, execute_payload
+from repro.obs.core import TELEMETRY_OFF, Telemetry
 from repro.registry import get_strategy
 from repro.serve.arrivals import Request, RequestCell
 from repro.serve.queue import RequestQueue
@@ -55,6 +64,7 @@ class Batcher:
         max_batch: int = 8,
         cache: bool = True,
         cache_hit_cost_s: float = DEFAULT_CACHE_HIT_COST_S,
+        telemetry: Telemetry = TELEMETRY_OFF,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -62,6 +72,7 @@ class Batcher:
         self.max_batch = max_batch
         self.cache = cache
         self.cache_hit_cost_s = cache_hit_cost_s
+        self.telemetry = telemetry
         self.pool = SessionPool(session)
         self.simulations_executed = 0
         # key -> (virtual time the producing execution finishes, result dict).
@@ -127,7 +138,9 @@ class Batcher:
                 finish_s = ready_at_s
                 served_by = "batch"
         else:
-            result = execute_payload(point.to_dict(), pool=self.pool)
+            result = execute_payload(
+                point.to_dict(), pool=self.pool, telemetry=self.telemetry
+            )
             self.simulations_executed += 1
             finish_s = now_s + float(result["iteration_time_s"])
             if self.cache:

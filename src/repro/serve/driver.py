@@ -73,6 +73,7 @@ class ServeSimulation:
             max_batch=max_batch,
             cache=cache,
             cache_hit_cost_s=cache_hit_cost_s,
+            telemetry=self.telemetry,
         )
         # Validate every cell up front (unknown strategies, bad overrides)
         # so configuration errors surface before any simulation runs.

@@ -25,6 +25,7 @@ the hot loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.plan import ExecutionPlan
 
@@ -57,6 +58,33 @@ class CompiledPlan:
     @property
     def num_resources(self) -> int:
         return len(self.resource_names)
+
+    @cached_property
+    def structure_key(self) -> tuple:
+        """Content identity of the plan's *structure*, durations excluded.
+
+        Two compiled plans with equal keys have the same DAG shape, the same
+        interned resources and the same dispatch keys — they differ at most
+        in per-task durations, which means they are simulatable together as
+        lanes of one :func:`repro.sim.batch.simulate_batch` call.  Because
+        resource ids are interned in first-use order, equal structure implies
+        equal dense ids, so every shared array of one plan is valid for the
+        other.
+
+        The key is recomputed whenever the plan recompiles: appending a task
+        via :meth:`ExecutionPlan.add` drops the cached ``CompiledPlan``, and
+        the replacement object carries a fresh ``cached_property`` slot.
+        """
+        return (
+            self.num_tasks,
+            self.resource_names,
+            self.task_resources,
+            self.dispatch_keys,
+            self.dep_counts,
+            self.dependents_indptr,
+            self.dependents_ids,
+            self.initial_ready,
+        )
 
     def dependents_of(self, task_id: int) -> tuple[int, ...]:
         """The tasks unblocked (in part) by ``task_id`` finishing."""

@@ -17,6 +17,7 @@ from repro.core.plan import ExecutionPlan
 from repro.core.strategy import Strategy
 from repro.data.sampler import Batch
 from repro.model.flops import embedding_flops_per_token
+from repro.sim.batch import SimRequest, simulate_many
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.events import ResourceEvent
 from repro.utils.validation import check_positive
@@ -122,6 +123,16 @@ def simulate_iteration(
     forward = simulator.run(forward_plan, events=events)
     backward = simulator.run(backward_plan, events=events)
 
+    return _assemble(strategy, batch, partition_overhead, forward, backward)
+
+
+def _assemble(
+    strategy: Strategy,
+    batch: Batch,
+    partition_overhead: float,
+    forward: SimulationResult,
+    backward: SimulationResult,
+) -> IterationResult:
     num_layers = strategy.spec.num_layers
     check_positive("num_layers", num_layers)
     return IterationResult(
@@ -135,3 +146,67 @@ def simulate_iteration(
         forward_result=forward,
         backward_result=backward,
     )
+
+
+def simulate_iterations(
+    strategy: Strategy,
+    batches: "Sequence[Batch]",
+    record_trace: bool = False,
+    events: "Sequence[ResourceEvent] | None" = None,
+) -> list[IterationResult]:
+    """Simulate one iteration per batch through the batched lane kernel.
+
+    Plans every batch's forward and backward layer first, then hands all
+    2N simulations to :func:`repro.sim.batch.simulate_many`, which groups
+    them by shared plan structure (strategies that re-plan the same DAG
+    shape per batch — only durations varying — simulate as lanes of one
+    event loop).  Results are bit-identical to calling
+    :func:`simulate_iteration` per batch.
+    """
+    shared_events = tuple(events) if events else ()
+    planned: list[tuple[Batch, float]] = []
+    requests: list[SimRequest] = []
+    for batch in batches:
+        forward_plan = strategy.plan_layer(batch, phase="forward")
+        backward_plan = strategy.plan_layer(batch, phase="backward")
+        overhead = _PLANNING_SECONDS_PER_TASK * (
+            forward_plan.num_tasks + backward_plan.num_tasks
+        )
+        planned.append((batch, overhead))
+        requests.append(SimRequest(plan=forward_plan, events=shared_events))
+        requests.append(SimRequest(plan=backward_plan, events=shared_events))
+    results = simulate_many(requests, record_trace=record_trace)
+    return [
+        _assemble(strategy, batch, overhead, results[2 * i], results[2 * i + 1])
+        for i, (batch, overhead) in enumerate(planned)
+    ]
+
+
+def simulate_iteration_states(
+    strategy: Strategy,
+    batch: Batch,
+    event_states: "Sequence[Sequence[ResourceEvent]]",
+    record_trace: bool = False,
+) -> list[IterationResult]:
+    """One iteration of the *same* batch under several event states.
+
+    The resilience driver's shape: one plan pair, K speed schedules.  All
+    2K simulations run as lanes of the forward/backward structures in one
+    :func:`repro.sim.batch.simulate_many` call; results are bit-identical
+    to K sequential :func:`simulate_iteration` calls.
+    """
+    forward_plan = strategy.plan_layer(batch, phase="forward")
+    backward_plan = strategy.plan_layer(batch, phase="backward")
+    overhead = _PLANNING_SECONDS_PER_TASK * (
+        forward_plan.num_tasks + backward_plan.num_tasks
+    )
+    requests: list[SimRequest] = []
+    for events in event_states:
+        shared = tuple(events) if events else ()
+        requests.append(SimRequest(plan=forward_plan, events=shared))
+        requests.append(SimRequest(plan=backward_plan, events=shared))
+    results = simulate_many(requests, record_trace=record_trace)
+    return [
+        _assemble(strategy, batch, overhead, results[2 * i], results[2 * i + 1])
+        for i in range(len(event_states))
+    ]

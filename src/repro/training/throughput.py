@@ -13,8 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.strategy import Strategy
 from repro.data.sampler import Batch
-from repro.sim.engine import Simulator
-from repro.training.iteration import IterationResult, simulate_iteration
+from repro.training.iteration import IterationResult, simulate_iterations
 from repro.utils.validation import check_positive
 
 
@@ -41,16 +40,19 @@ def measure_throughput(
     batches: list[Batch],
     record_trace: bool = False,
 ) -> ThroughputReport:
-    """Average tokens/second of ``strategy`` over ``batches``."""
+    """Average tokens/second of ``strategy`` over ``batches``.
+
+    The per-batch iterations simulate through the batched lane kernel
+    (:func:`~repro.training.iteration.simulate_iterations`): batches whose
+    plans share structure run as lanes of one event loop, bit-identical to
+    the sequential per-batch path.
+    """
     if not batches:
         raise ValueError("need at least one batch")
-    simulator = Simulator(record_trace=record_trace)
-    iterations = []
+    iterations = simulate_iterations(strategy, batches, record_trace=record_trace)
     total_tokens = 0
     total_time = 0.0
-    for batch in batches:
-        result = simulate_iteration(strategy, batch, simulator=simulator)
-        iterations.append(result)
+    for batch, result in zip(batches, iterations):
         total_tokens += batch.total_tokens
         total_time += result.iteration_time_s
     check_positive("total simulated time", total_time)

@@ -541,6 +541,52 @@ class TestClusterBackendEndToEnd:
             )
 
 
+class TestAdaptiveJobs:
+    """Retry-round sizing from observed per-point wall time."""
+
+    def test_no_signal_falls_back_to_fixed_shrink(self):
+        from repro.exec.cluster.backend import SHRINK_FACTOR, _adaptive_jobs
+
+        expected = max(1, min(49, int(50 / SHRINK_FACTOR)))
+        assert _adaptive_jobs(100, 0, 0, 0.0, 50) == expected
+        assert _adaptive_jobs(100, 0, 5, 2.0, 50) == expected  # nothing done
+        assert _adaptive_jobs(100, 50, 10, 0.0, 50) == expected  # no wall time
+        assert _adaptive_jobs(3, 0, 0, 0.0, 2) == 1
+
+    def test_sized_from_observed_per_point_time(self):
+        from repro.exec.cluster.backend import _adaptive_jobs
+
+        # 50 payloads over 10 jobs in 2s -> 0.4 s/point; target job length
+        # 1.6 * 2s = 3.2s; 100 pending points -> 12 jobs, clamped to 9
+        # (rounds must strictly shrink).
+        assert _adaptive_jobs(100, 50, 10, 2.0, 10) == 9
+        # Same rate but only 16 pending -> 2 jobs: the estimate, not the
+        # fixed divisor, drives the size.
+        assert _adaptive_jobs(16, 50, 10, 2.0, 10) == 2
+
+    def test_fast_points_never_drop_below_one_job(self):
+        from repro.exec.cluster.backend import _adaptive_jobs
+
+        assert _adaptive_jobs(4, 96, 12, 1.0, 12) == 1
+
+    def test_min_job_wall_floor_bounds_tiny_rounds(self):
+        from repro.exec.cluster.backend import MIN_JOB_WALL_S, _adaptive_jobs
+
+        # A 0.1s round would target 0.16s jobs without the floor; with it
+        # the target is MIN_JOB_WALL_S, so 100 points at 0.1 s/point size
+        # to 10 jobs -> clamped to 9.
+        assert MIN_JOB_WALL_S == 1.0
+        assert _adaptive_jobs(100, 10, 10, 0.1, 10) == 9
+
+    def test_always_strictly_shrinks(self):
+        from repro.exec.cluster.backend import _adaptive_jobs
+
+        for prev in range(2, 60, 7):
+            for wall in (0.0, 0.5, 10.0):
+                jobs = _adaptive_jobs(1000, 10, prev, wall, prev)
+                assert 1 <= jobs < prev
+
+
 class TestWorkerCommandEnv:
     def test_worker_command_uses_module_entrypoint(self, tmp_path):
         argv = worker_command(tmp_path / "j.json", tmp_path / "r.json")
@@ -585,11 +631,15 @@ class TestClusterAcceptance:
             "cache_dir": tmp_path / "point_cache",
             "poll_interval_s": 0.05,
         }
+        # dedup=False: the fan-out itself is under test here, so ship all
+        # 10k payloads instead of letting the driver collapse them to the
+        # 4 unique execution identities.
         cold = run_sweep(
             spec, backend="cluster", jobs=50, cache=cache_dir,
-            backend_options=options,
+            backend_options=options, dedup=False,
         )
         assert cold.meta["executed_points"] == 10_000
+        assert cold.meta["deduped"] == 0
         assert sum(r["jobs"] for r in cold.meta["rounds"]) == 50
         # The shared point cache collapses 10k payloads to ~4 simulations
         # (plus at most a handful of racy duplicates across workers).

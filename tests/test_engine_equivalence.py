@@ -172,9 +172,24 @@ class TestStrategyEquivalence:
         reference = lambda record_trace=True: ReferenceSimulator(
             record_trace=record_trace, exact_drain=True
         )
+
+        def reference_many(requests, record_trace=False, **kwargs):
+            simulator = reference(record_trace)
+            return [
+                simulator.run(
+                    r.plan, events=r.events, start_time_s=r.start_time_s
+                )
+                for r in requests
+            ]
+
         monkeypatch.setattr("repro.dynamics.recovery.Simulator", reference)
         monkeypatch.setattr("repro.training.iteration.Simulator", reference)
-        monkeypatch.setattr("repro.training.throughput.Simulator", reference)
+        # The batched lane kernel carries every healthy-iteration simulation
+        # now; rerouting it through the reference engine sequentially keeps
+        # this an end-to-end old-vs-new comparison.
+        monkeypatch.setattr(
+            "repro.training.iteration.simulate_many", reference_many
+        )
         with_old = run()
         assert isinstance(with_new, ResilienceResult)
         assert with_new.to_dict() == with_old.to_dict()

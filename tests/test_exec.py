@@ -178,6 +178,24 @@ class TestRunSweep:
         assert set(payload) == {"meta", "points", "results"}
         assert len(payload["points"]) == len(payload["results"]) == 2
 
+    def test_identical_identities_deduped_before_fanout(self):
+        """Tagged replicas of one execution identity run once and share it."""
+        spec = SweepSpec(
+            base=SMALL_BASE,
+            axes={"strategy": ("te_cp",), "replica": (0, 1, 2)},
+        )
+        sweep = run_sweep(spec)
+        assert sweep.meta["num_points"] == 3
+        assert sweep.meta["executed_points"] == 1
+        assert sweep.meta["deduped"] == 2
+        dicts = [r.to_dict() for r in sweep.results]
+        assert dicts[0] == dicts[1] == dicts[2]
+        # Opting out ships every payload; results are identical either way.
+        full = run_sweep(spec, dedup=False)
+        assert full.meta["executed_points"] == 3
+        assert full.meta["deduped"] == 0
+        assert full.to_dict()["results"] == sweep.to_dict()["results"]
+
 
 class TestBackendEquivalence:
     """Serial and process backends must produce identical SweepResults."""
