@@ -21,6 +21,7 @@ import time
 
 from repro.api import Session
 from repro.serve.driver import ServeSimulation
+from repro.serve.spec import ServeSpec
 
 RATE_RPS = 100.0
 DURATION_S = 10.0
@@ -29,6 +30,17 @@ MIX = {"zeppelin": 2.0, "te_cp": 1.0, "llama_cp": 1.0}
 # Warm requests/sec floor: measured ~20k on the reference laptop; two orders
 # of magnitude of headroom for slow CI machines.
 MIN_WARM_RPS = 200.0
+
+CLOSED_SPEC = ServeSpec(
+    mix=MIX,
+    arrival="closed",
+    clients=64,
+    think_time_s=0.2,
+    duration_s=DURATION_S,
+    concurrency=4,
+    slo_s=2.0,
+    admission="slo_aware",
+)
 
 
 def _serve(session):
@@ -83,6 +95,53 @@ def test_bench_serve_throughput(benchmark, printed_results):
                 f"{warm.p99_latency_s * 1e3:.1f} ms",
                 f"  cold serve            : {cold_s * 1e3:9.2f} ms "
                 f"({cold.completed / cold_s:,.0f} req/s)",
+                f"  warm serve            : {warm_s * 1e3:9.2f} ms "
+                f"({warm_rps:,.0f} req/s, floor {MIN_WARM_RPS:,.0f})",
+            ]
+        )
+    )
+
+
+def test_bench_serve_closed_loop(benchmark, printed_results):
+    """Closed-loop serving with SLO-aware admission: the full tentpole path.
+
+    Exercises per-arrival AdmissionContext construction (queued-work and
+    cost-estimate lookups), closed-loop re-issuance and shedding — the
+    per-request overhead the open-loop benchmark does not touch.
+    """
+    session = Session(
+        model="3b", num_gpus=16, dataset="arxiv", total_context=32 * 1024, num_steps=1
+    )
+
+    def _serve_closed():
+        return ServeSimulation(session, spec=CLOSED_SPEC).run()
+
+    cold = _serve_closed()
+    assert cold.num_requests > 0
+    assert cold.completed + cold.shed_count == cold.num_requests
+    assert cold.simulations == len(MIX)
+
+    benchmark.pedantic(_serve_closed, rounds=3, iterations=1)
+    t0 = time.perf_counter()
+    warm = _serve_closed()
+    warm_s = time.perf_counter() - t0
+    assert warm.to_json() == cold.to_json()  # closed loop is deterministic too
+
+    warm_rps = warm.completed / warm_s
+    assert warm_rps >= MIN_WARM_RPS, (
+        f"closed-loop serving regression: {warm_rps:,.0f} requests/s "
+        f"(floor {MIN_WARM_RPS:,.0f})"
+    )
+
+    printed_results.append(
+        "\n".join(
+            [
+                "Serving throughput (closed-loop, "
+                f"{CLOSED_SPEC.clients} clients x {CLOSED_SPEC.think_time_s:.1f}s "
+                f"think x {DURATION_S:.0f}s, slo_aware @ {CLOSED_SPEC.slo_s:.0f}s)",
+                f"  requests issued/shed  : {warm.num_requests} / {warm.shed_count}",
+                f"  simulations executed  : {warm.simulations} "
+                f"(cache hit rate {warm.cache_hit_rate:.1%})",
                 f"  warm serve            : {warm_s * 1e3:9.2f} ms "
                 f"({warm_rps:,.0f} req/s, floor {MIN_WARM_RPS:,.0f})",
             ]

@@ -34,6 +34,7 @@ REGISTRY_KINDS = frozenset(
         "submitter",
         "arrival",
         "admission",
+        "scale",
         "rule",
     }
 )

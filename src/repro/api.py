@@ -464,29 +464,49 @@ class Session:
             config=self.config.to_dict(),
         )
 
-    def serve(self, mix: Any = None, **knobs: Any) -> "ServeResult":
-        """Drive an open-loop serving workload over this session.
+    def serve(self, spec_or_mix: Any = None, /, **knobs: Any) -> "ServeResult":
+        """Drive a serving workload over this session.
 
-        A seeded arrival process (``arrival="poisson"`` at ``rate`` requests
-        per virtual second by default) emits evaluation requests drawn from
-        ``mix`` — a sequence of strategy names, a ``{strategy: weight}``
-        mapping, or :class:`~repro.serve.RequestCell`\\ s with session-field
-        overrides — for ``duration_s`` virtual seconds.  Requests queue under
-        an admission policy with a ``concurrency`` limit; compatible queued
-        requests batch into shared plan executions that reuse this session's
-        plan caches plus an in-run result cache, so repeated cells are
-        near-free.  Returns a :class:`~repro.results.ServeResult` with
-        throughput, goodput, latency percentiles, queue depth over time and
-        the cache hit rate.
+        The primary form takes a frozen :class:`~repro.serve.ServeSpec` —
+        the full workload description (mix, arrival process, admission
+        policy, concurrency/batching limits, SLO, autoscaling), validated on
+        construction::
 
-        See :class:`repro.serve.ServeSimulation` for every knob (``rate``,
-        ``duration_s``, ``arrival``, ``admission``, ``concurrency``,
-        ``max_batch``, ``cache``, ``slo_s``).
+            from repro.serve import ServeSpec
+
+            spec = ServeSpec(mix={"zeppelin": 3, "te_cp": 1},
+                             arrival="closed", clients=64, slo_s=2.0,
+                             admission="slo_aware")
+            result = session.serve(spec)
+
+        A seeded arrival process emits evaluation requests drawn from the
+        mix — open-loop (``poisson``/``trace``) or closed-loop (``closed``:
+        a pool of virtual users that re-issue after a think time).  Requests
+        are admitted or shed by the admission policy, queue under a
+        ``concurrency`` limit, and compatible queued requests batch into
+        shared plan executions that reuse this session's plan caches plus an
+        in-run result cache, so repeated cells are near-free.  Returns a
+        :class:`~repro.results.ServeResult` with throughput, goodput,
+        latency percentiles, queue depth and capacity over time, shed
+        counts and the cache hit rate.
+
+        The legacy form — a mix plus loose knobs, e.g.
+        ``session.serve("zeppelin", rate=20.0, slo_s=1.0)`` — remains as a
+        thin shim that packages the knobs into a :class:`ServeSpec`.
         """
         from repro.serve.driver import run_serve
+        from repro.serve.spec import ServeSpec
 
         knobs.setdefault("telemetry", self._telemetry)
-        return run_serve(self, mix, **knobs)
+        if isinstance(spec_or_mix, ServeSpec):
+            telemetry = knobs.pop("telemetry")
+            if knobs:
+                raise ValueError(
+                    "with a ServeSpec, pass no extra knobs (telemetry excepted); "
+                    f"got {sorted(knobs)}"
+                )
+            return run_serve(self, spec=spec_or_mix, telemetry=telemetry)
+        return run_serve(self, spec_or_mix, **knobs)
 
     # -- derived sessions and sweeps --------------------------------------------
 

@@ -47,12 +47,16 @@ Ten subcommands:
 
       python -m repro trace zeppelin --model 3b --out timeline.json
 
-* ``serve`` — drive an open-loop online serving workload (seeded arrivals,
-  admission queue, request batching) over the simulator and report
-  throughput, goodput, latency percentiles and cache behaviour::
+* ``serve`` — drive an online serving workload (seeded open- or closed-loop
+  arrivals, admission queue with SLO-aware shedding, request batching,
+  optional telemetry-driven autoscaling) over the simulator and report
+  throughput, goodput, latency percentiles, shed counts and cache
+  behaviour.  Flags assemble a :class:`repro.serve.ServeSpec`::
 
       python -m repro serve --rate 5 --duration 60 --seed 0 --json
       python -m repro serve --mix zeppelin=3 te_cp=1 --admission priority
+      python -m repro serve --arrival closed --clients 64 --slo 2 \\
+          --admission slo_aware --scale-policy queue_depth --max-gpus 64
 
 * ``obs`` — summarise a telemetry log written by ``--telemetry``::
 
@@ -101,6 +105,7 @@ from repro.registry import (
     arrival_entries,
     available_admissions,
     available_arrivals,
+    available_scales,
     available_backends,
     available_experiments,
     available_recoveries,
@@ -111,6 +116,7 @@ from repro.registry import (
     experiment_entries,
     get_experiment,
     recovery_entries,
+    scale_entries,
     rule_entries,
     strategy_entries,
     submitter_entries,
@@ -385,11 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="drive an open-loop serving workload over the simulator"
+        "serve", help="drive a serving workload over the simulator"
     )
     _add_config_args(serve)
     serving = serve.add_argument_group(
-        "serving", "open-loop traffic shape and admission (see `repro list`)"
+        "serving", "traffic shape, admission and autoscaling (see `repro list`)"
     )
     serving.add_argument(
         "--rate",
@@ -442,11 +448,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum requests coalesced into one execution",
     )
     serving.add_argument(
+        "--clients",
+        type=int,
+        default=32,
+        help="closed-loop pool size (used by --arrival closed)",
+    )
+    serving.add_argument(
+        "--think-time",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="mean closed-loop think time (used by --arrival closed)",
+    )
+    serving.add_argument(
+        "--coalesce",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="deadline-capped batching window: hold a dispatch up to this "
+        "long to coalesce same-cell arrivals (never past SLO slack)",
+    )
+    serving.add_argument(
         "--slo",
         type=float,
         default=None,
         metavar="SECONDS",
-        help="latency objective; goodput counts only requests meeting it",
+        help="latency objective; goodput counts only requests meeting it, "
+        "and slo_aware admission sheds predicted misses",
+    )
+    serving.add_argument(
+        "--scale-policy",
+        default=None,
+        choices=list(available_scales()),
+        help="autoscale the virtual cluster with load (default: fixed size)",
+    )
+    serving.add_argument(
+        "--min-gpus",
+        type=int,
+        default=None,
+        help="autoscale floor in GPUs (default: the session's --gpus)",
+    )
+    serving.add_argument(
+        "--max-gpus",
+        type=int,
+        default=None,
+        help="autoscale ceiling in GPUs (default: the session's --gpus)",
     )
     serving.add_argument(
         "--no-request-cache",
@@ -866,8 +912,10 @@ def _parse_mix(entries: "Sequence[str] | None") -> "dict[str, float] | None":
 
 
 def run_serve_cmd(args: argparse.Namespace) -> int:
-    """Execute the ``serve`` subcommand."""
+    """Execute the ``serve`` subcommand: flags become one ServeSpec."""
     import json as _json
+
+    from repro.serve.spec import ServeSpec
 
     try:
         session = Session(_session_config(args))
@@ -879,18 +927,25 @@ def run_serve_cmd(args: argparse.Namespace) -> int:
                 raise ValueError("--arrival trace requires --trace-file")
             with open(args.trace_file, "r", encoding="utf-8") as handle:
                 trace_times = tuple(float(t) for t in _json.load(handle))
-        result = session.serve(
-            mix,
+        spec = ServeSpec(
+            mix=mix,
             rate=args.rate,
             duration_s=args.duration,
             arrival=args.arrival,
             trace_times=trace_times,
+            clients=args.clients,
+            think_time_s=args.think_time,
             admission=args.admission,
             concurrency=args.concurrency,
             max_batch=args.max_batch,
+            coalesce_s=args.coalesce,
             cache=not args.no_request_cache,
             slo_s=args.slo,
+            scale_policy=args.scale_policy,
+            min_gpus=args.min_gpus,
+            max_gpus=args.max_gpus,
         )
+        result = session.serve(spec)
     except (ValueError, KeyError, OSError) as exc:
         return _config_error(exc)
     if args.json:
@@ -898,7 +953,7 @@ def run_serve_cmd(args: argparse.Namespace) -> int:
         return 0
     print(session.cluster.describe())
     data = result.to_dict()
-    for skipped in ("config", "mix", "queue_depth_timeline"):
+    for skipped in ("config", "mix", "queue_depth_timeline", "capacity_timeline"):
         data.pop(skipped, None)
     rows = [[key, value] for key, value in data.items()]
     print(render_table(["metric", "value"], rows))
@@ -969,6 +1024,7 @@ def run_list(args: argparse.Namespace) -> int:
         ("batch submitters", submitter_entries()),
         ("arrival processes", arrival_entries()),
         ("admission policies", admission_entries()),
+        ("scale policies", scale_entries()),
         ("analysis rules", rule_entries()),
     )
     width = max(

@@ -166,6 +166,24 @@ def as_policy(recovery: "RecoveryPolicy | str", **kwargs: Any) -> RecoveryPolicy
     return get_recovery(recovery).obj(**kwargs)
 
 
+def scale_session(session: "Session", num_nodes: int) -> "Session":
+    """The elastic scale primitive: replan onto a ``num_nodes``-node cluster.
+
+    Derives a session for the resized cluster (cached by configuration in the
+    session family), so every strategy replans through its ordinary
+    ``Strategy.plan_layer`` machinery and repeated visits to a node count
+    reuse the derived session's batch/plan caches.  This is the one step both
+    consumers of elasticity share: :func:`run_resilient` shrinking after an
+    :class:`ElasticRepartition` failure, and the serve autoscaler
+    (:mod:`repro.serve.scale`) growing/shrinking the virtual cluster with
+    load.
+    """
+    check_positive("num_nodes", num_nodes)
+    if num_nodes == session.config.num_nodes:
+        return session
+    return session.derive(num_gpus=num_nodes * session.cluster.gpus_per_node)
+
+
 @dataclass(frozen=True)
 class ResilienceReport:
     """Raw outcome of one resilience run (wrapped by ``repro.results``).
@@ -217,7 +235,6 @@ def run_resilient(
     """
     check_positive("num_iterations", num_iterations)
     config = session.config
-    gpus_per_node = session.cluster.gpus_per_node
     full_nodes = config.num_nodes
     batches = session.batches
 
@@ -237,11 +254,7 @@ def run_resilient(
         cached = iteration_cache.get(key)
         if cached is not None:
             return cached
-        sess = (
-            session
-            if nodes == full_nodes
-            else session.derive(num_gpus=nodes * gpus_per_node)
-        )
+        sess = scale_session(session, nodes)
         strat = sess.strategy(strategy, **strategy_kwargs)
         # The factor state only changes at slowdown onsets, so the states
         # this run will need later are already known.  A miss therefore

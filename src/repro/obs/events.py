@@ -54,6 +54,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "request_enqueue": frozenset({"request", "vt"}),
     "request_dispatch": frozenset({"request", "vt", "batch_size", "served_by"}),
     "request_complete": frozenset({"request", "vt", "latency_s"}),
+    "request_shed": frozenset({"request", "vt"}),
+    # serving autoscaler (repro.serve.scale) — capacity changes in GPUs
+    "scale_up": frozenset({"vt", "gpus"}),
+    "scale_down": frozenset({"vt", "gpus"}),
     # dynamics (repro.dynamics) — failures and recovery actions
     "failure": frozenset({"node", "vt", "iteration"}),
     "recovery": frozenset({"policy", "downtime_s", "rollback", "drop_node"}),

@@ -199,13 +199,22 @@ class LatencySketch:
         return estimator.value()
 
     def summary(self) -> dict[str, float]:
-        """The serve-metrics latency summary shape (seconds)."""
+        """The serve-metrics latency summary shape (seconds).
+
+        Quantile estimates are monotonized in rank order: P² markers can
+        momentarily invert on heavily correlated streams (e.g. a burst of
+        large latencies followed by thousands of identical small ones), and
+        a reported p99 below p50 would be nonsense.  Exact mode is already
+        monotone, so this only touches approximate estimates.
+        """
+        floor = 0.0
+        quantiles = {}
+        for q in sorted(self._estimators):
+            floor = max(floor, self.quantile(q))
+            quantiles[f"p{q:g}_latency_s"] = floor
         return {
             "mean_latency_s": self.mean,
-            **{
-                f"p{q:g}_latency_s": self.quantile(q)
-                for q in sorted(self._estimators)
-            },
+            **quantiles,
             "max_latency_s": self.max if self.count else 0.0,
         }
 

@@ -239,12 +239,19 @@ _BUILTIN_SUBMITTER_MODULES = {
 _BUILTIN_ARRIVAL_MODULES = {
     "poisson": "repro.serve.arrivals",
     "trace": "repro.serve.arrivals",
+    "closed": "repro.serve.arrivals",
 }
 
 # Built-in serving admission policy name -> providing module (repro.serve).
 _BUILTIN_ADMISSION_MODULES = {
     "fifo": "repro.serve.queue",
     "priority": "repro.serve.queue",
+    "slo_aware": "repro.serve.queue",
+}
+
+# Built-in serving autoscale policy name -> providing module (repro.serve).
+_BUILTIN_SCALE_MODULES = {
+    "queue_depth": "repro.serve.scale",
 }
 
 # Built-in static-analysis rule id -> providing module (repro.analysis).
@@ -281,6 +288,7 @@ BACKENDS = Registry("execution backend", _BUILTIN_BACKEND_MODULES)
 SUBMITTERS = Registry("batch submitter", _BUILTIN_SUBMITTER_MODULES)
 ARRIVALS = Registry("arrival process", _BUILTIN_ARRIVAL_MODULES)
 ADMISSIONS = Registry("admission policy", _BUILTIN_ADMISSION_MODULES)
+SCALES = Registry("scale policy", _BUILTIN_SCALE_MODULES)
 RULES = Registry("analysis rule", _BUILTIN_RULE_MODULES)
 
 
@@ -441,6 +449,29 @@ def admission_entries() -> tuple[RegistryEntry, ...]:
 
 def unregister_admission(name: str) -> None:
     ADMISSIONS.unregister(name)
+
+
+def register_scale(
+    name: str, *, description: str | None = None, **metadata: Any
+) -> Callable[[Any], Any]:
+    """Class decorator registering a serving autoscale policy by short name."""
+    return SCALES.decorator(name, description=description, **metadata)
+
+
+def get_scale(name: str) -> RegistryEntry:
+    return SCALES.get(name)
+
+
+def available_scales() -> tuple[str, ...]:
+    return SCALES.names()
+
+
+def scale_entries() -> tuple[RegistryEntry, ...]:
+    return SCALES.entries()
+
+
+def unregister_scale(name: str) -> None:
+    SCALES.unregister(name)
 
 
 def register_rule(

@@ -199,7 +199,7 @@ class ResilienceResult:
 
 @dataclass(frozen=True)
 class ServeResult:
-    """Metrics of one open-loop serving run (:mod:`repro.serve`).
+    """Metrics of one serving run (:mod:`repro.serve`).
 
     Produced by :meth:`Session.serve` / ``repro serve``.  All timestamps are
     *virtual* seconds of the serving clock; nothing here depends on
@@ -218,7 +218,8 @@ class ServeResult:
         The arrival window and the total virtual time until the queue
         drained (``makespan_s >= duration_s``).
     num_requests / completed:
-        Requests that arrived vs. completed (equal — the queue drains).
+        Requests that arrived vs. completed (they differ only by shed
+        requests — everything admitted completes when the queue drains).
     simulations:
         Fresh plan simulations executed; batching and caching push this far
         below ``num_requests`` for repetitive mixes.
@@ -236,6 +237,12 @@ class ServeResult:
     mean_queue_depth / max_queue_depth / queue_depth_timeline:
         Time-weighted mean depth, peak depth, and the ``(time, depth)``
         change points of the queue over the run.
+    shed_count:
+        Requests rejected by the admission policy (never queued or executed).
+    scale_policy / capacity_timeline / scale_up_count / scale_down_count:
+        Autoscaling record: the policy's registry name (``None`` for a fixed
+        cluster), the ``(time, gpus)`` capacity change points starting at the
+        initial capacity, and how many grow/shrink steps were taken.
     config:
         The serving session's configuration, as a mapping.
     mix:
@@ -268,6 +275,11 @@ class ServeResult:
     mean_queue_depth: float
     max_queue_depth: int
     queue_depth_timeline: tuple[tuple[float, int], ...] = ()
+    shed_count: int = 0
+    scale_policy: str | None = None
+    capacity_timeline: tuple[tuple[float, int], ...] = ()
+    scale_up_count: int = 0
+    scale_down_count: int = 0
     config: Mapping[str, Any] = field(default_factory=dict)
     mix: tuple[Mapping[str, Any], ...] = ()
 
@@ -277,6 +289,11 @@ class ServeResult:
             self,
             "queue_depth_timeline",
             tuple((float(t), int(d)) for t, d in self.queue_depth_timeline),
+        )
+        object.__setattr__(
+            self,
+            "capacity_timeline",
+            tuple((float(t), int(g)) for t, g in self.capacity_timeline),
         )
         object.__setattr__(
             self, "mix", tuple(_deep_frozen(cell) for cell in self.mix)
@@ -309,6 +326,11 @@ class ServeResult:
             "mean_queue_depth": self.mean_queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "queue_depth_timeline": [[t, d] for t, d in self.queue_depth_timeline],
+            "shed_count": self.shed_count,
+            "scale_policy": self.scale_policy,
+            "capacity_timeline": [[t, g] for t, g in self.capacity_timeline],
+            "scale_up_count": self.scale_up_count,
+            "scale_down_count": self.scale_down_count,
             "config": dict(self.config),
             "mix": [_thawed(cell) for cell in self.mix],
         }

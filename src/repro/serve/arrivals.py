@@ -6,12 +6,19 @@ request cells drawn from the :class:`RequestMix` by weight, both from one
 ``random.Random(seed)`` stream — the same seed always yields the same
 schedule, byte for byte.
 
-Two built-ins register with :mod:`repro.registry`:
+Three built-ins register with :mod:`repro.registry`:
 
 * ``poisson`` — memoryless open-loop traffic at a configurable mean rate
-  (exponential inter-arrival gaps), the classic load-curve driver, and
+  (exponential inter-arrival gaps), the classic load-curve driver,
 * ``trace`` — replay of explicit arrival timestamps (optionally tiled with a
-  period), for bursty or recorded workloads.
+  period), for bursty or recorded workloads, and
+* ``closed`` — a *closed-loop* pool of virtual users: each client re-issues
+  its next request a think-time draw after its previous completion, so the
+  offered load responds to system state (the traffic shape of interactive
+  users).  Closed-loop schedules cannot be precomputed — the driver issues
+  requests through :meth:`ClosedLoopArrivals.clients` as completions land;
+  every draw still comes from per-client seeded streams, so a run is a pure
+  function of (process config, mix, duration, seed).
 
 New processes plug in with ``@register_admission``'s sibling decorator::
 
@@ -165,8 +172,8 @@ class Request:
     ``arrival_s``/``start_s``/``finish_s`` are virtual-time stamps;
     ``served_by`` records how the request was satisfied: ``"simulate"`` (it
     paid for a fresh simulation), ``"batch"`` (it rode another request's
-    execution) or ``"cache"`` (its batch was answered from the in-run result
-    cache).
+    execution), ``"cache"`` (its batch was answered from the in-run result
+    cache) or ``"shed"`` (admission rejected it; ``finish_s`` stays ``None``).
     """
 
     rid: int
@@ -175,6 +182,7 @@ class Request:
     start_s: float | None = None
     finish_s: float | None = None
     served_by: str | None = None
+    client: int | None = None  # issuing closed-loop client, if any
 
     @property
     def priority(self) -> int:
@@ -238,6 +246,83 @@ class PoissonArrivals(ArrivalProcess):
         return times
 
 
+class ClosedLoopClient:
+    """One virtual user of a closed-loop pool.
+
+    The client owns a private seeded stream (derived deterministically from
+    the run seed and its index), so its think-time and mix draws do not
+    depend on how other clients' completions interleave — the whole pool is
+    reproducible regardless of event order.
+    """
+
+    def __init__(self, cid: int, seed: int, think_time_s: float, mix: RequestMix):
+        self.cid = cid
+        self.think_time_s = think_time_s
+        self.mix = mix
+        # Distinct large-prime stride keeps client streams disjoint from the
+        # open-loop stream seeded with the bare run seed.
+        self._rng = random.Random(seed * 1_000_003 + cid + 1)
+
+    def think(self) -> float:
+        """One think-time draw (exponential around the configured mean)."""
+        return self._rng.expovariate(1.0 / self.think_time_s)
+
+    def issue(self, now_s: float, rid: int) -> Request:
+        """The client's next request, issued ``think()`` after ``now_s``."""
+        return Request(
+            rid=rid,
+            arrival_s=now_s + self.think(),
+            cell=self.mix.draw(self._rng),
+            client=self.cid,
+        )
+
+
+@register_arrival(
+    "closed",
+    description="closed-loop client pool: N users re-issue after a think time",
+)
+class ClosedLoopArrivals(ArrivalProcess):
+    """A pool of ``clients`` virtual users driving closed-loop traffic.
+
+    Each client issues its first request one think-time draw after t=0 and
+    every subsequent one a think-time draw after its previous request
+    *completes* (or is shed) — offered load backs off as the system slows
+    down, exactly like interactive users.  ``schedule`` is therefore empty:
+    the serve driver issues requests dynamically via :meth:`clients`.
+    """
+
+    name = "closed"
+    closed_loop = True
+
+    def __init__(self, clients: int = 32, think_time_s: float = 1.0):
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        if think_time_s <= 0:
+            raise ValueError(f"think_time_s must be positive, got {think_time_s}")
+        self.num_clients = clients
+        self.think_time_s = think_time_s
+
+    def arrival_times(self, duration_s: float, rng: random.Random) -> list[float]:
+        raise NotImplementedError(
+            "closed-loop arrivals are driven by completions, not a schedule"
+        )
+
+    def schedule(
+        self, mix: RequestMix, duration_s: float, seed: int = 0
+    ) -> tuple[Request, ...]:
+        """Empty — the driver issues closed-loop requests as completions land."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        return ()
+
+    def clients(self, mix: RequestMix, seed: int = 0) -> list[ClosedLoopClient]:
+        """The seeded client pool for one run."""
+        return [
+            ClosedLoopClient(cid, seed, self.think_time_s, mix)
+            for cid in range(self.num_clients)
+        ]
+
+
 @register_arrival(
     "trace", description="replay explicit arrival timestamps (optionally tiled)"
 )
@@ -283,13 +368,17 @@ def as_arrival(
     rate: float = 10.0,
     trace_times: Sequence[float] = (),
     trace_period: float | None = None,
+    clients: int = 32,
+    think_time_s: float = 1.0,
 ) -> ArrivalProcess:
     """Normalise the ``arrival`` argument of the serve driver.
 
     ``None`` and ``"poisson"`` build a :class:`PoissonArrivals` at ``rate``;
     ``"trace"`` builds a :class:`TraceArrivals` from ``trace_times`` (and
-    ``trace_period``); other registered names are instantiated with no
-    arguments; instances pass through unchanged.
+    ``trace_period``); ``"closed"`` builds a :class:`ClosedLoopArrivals`
+    pool of ``clients`` users thinking ``think_time_s`` on average; other
+    registered names are instantiated with no arguments; instances pass
+    through unchanged.
     """
     if isinstance(arrival, ArrivalProcess):
         return arrival
@@ -299,4 +388,6 @@ def as_arrival(
         if not trace_times:
             raise ValueError("trace arrivals need explicit times (trace_times=...)")
         return TraceArrivals(trace_times, period=trace_period)
+    if arrival == "closed":
+        return ClosedLoopArrivals(clients=clients, think_time_s=think_time_s)
     return get_arrival(arrival).obj()

@@ -79,21 +79,39 @@ class Batcher:
         # Entries are stored at dispatch but only *answer* requests causally:
         # before ready_at_s a later batch joins the in-flight execution.
         self._results: dict[str, tuple[float, dict[str, Any]]] = {}
-        self._points: dict[RequestCell, SweepPoint] = {}
+        # The config new dispatches resolve against.  The autoscaler swaps it
+        # via rescale(); points are keyed per (config, cell) so each capacity
+        # level keeps its own execution identity (and thus cache entries).
+        self._config_dict = session.config.to_dict()
+        self._config_key = SweepPoint(self._config_dict).canonical_json()
+        self._points: dict[tuple[str, RequestCell], SweepPoint] = {}
+
+    # -- capacity ----------------------------------------------------------------
+
+    def rescale(self, config: Any) -> None:
+        """Point subsequent dispatches at a resized session config.
+
+        Called by the serve driver when an autoscale step changes the
+        cluster; in-flight executions are unaffected (their points are
+        already built), and revisiting a previously seen capacity reuses its
+        cached points and results.
+        """
+        self._config_dict = config.to_dict()
+        self._config_key = SweepPoint(self._config_dict).canonical_json()
 
     # -- request -> execution identity -------------------------------------------
 
     def point_for(self, cell: RequestCell) -> SweepPoint:
-        """The sweep point a cell executes as (memoised per cell).
+        """The sweep point a cell executes as (memoised per config and cell).
 
         Resolves the cell's strategy through the registry on first sight, so
         a bad mix fails before any request is simulated.
         """
-        point = self._points.get(cell)
+        point = self._points.get((self._config_key, cell))
         if point is None:
             get_strategy(cell.strategy)
             values = {
-                **self.session.config.to_dict(),
+                **self._config_dict,
                 **cell.override_dict(),
                 "strategy": cell.strategy,
                 "strategy_kwargs": {},
@@ -103,8 +121,22 @@ class Batcher:
                 "num_iterations": 32,
             }
             point = SweepPoint(values)
-            self._points[cell] = point
+            self._points[(self._config_key, cell)] = point
         return point
+
+    def cost_estimate(self, cell: RequestCell) -> float | None:
+        """Measured service time of ``cell`` at the current capacity, if known.
+
+        Reads the in-run result cache: ``None`` until the cell has executed
+        once (on the current config), after which the last measured iteration
+        time is the estimate.  This is what SLO-aware admission and the
+        deadline batcher consult — no separate model, just the cache.
+        """
+        key = self.point_for(cell).canonical_json()
+        entry = self._results.get(key)
+        if entry is None:
+            return None
+        return float(entry[1]["iteration_time_s"])
 
     # -- batching ----------------------------------------------------------------
 

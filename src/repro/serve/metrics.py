@@ -77,13 +77,19 @@ class QueueDepthTracker:
 
 
 def request_counters(requests: Sequence[Request]) -> dict[str, Any]:
-    """How completed requests were served: fresh, batched or cached."""
+    """How requests were served: fresh, batched, cached — or shed.
+
+    Shed requests (``served_by == "shed"``) never execute, so they are
+    excluded from ``completed`` and counted separately.
+    """
     completed = [r for r in requests if r.finish_s is not None]
     cache_hits = sum(1 for r in completed if r.served_by == "cache")
     batched = sum(1 for r in completed if r.served_by == "batch")
+    shed = sum(1 for r in requests if r.served_by == "shed")
     return {
         "completed": len(completed),
         "cache_hits": cache_hits,
         "batched_requests": batched,
+        "shed": shed,
         "cache_hit_rate": cache_hits / len(completed) if completed else 0.0,
     }

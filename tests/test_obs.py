@@ -383,6 +383,46 @@ class TestTelemetryNeverChangesResults:
         completes = [e for e in sink.events if e["type"] == "request_complete"]
         assert len(completes) == observed.completed
 
+    def test_serve_shed_and_scale_events_validate(self):
+        from repro.serve import ServeSpec
+
+        spec = ServeSpec(
+            mix=("zeppelin",),
+            arrival="closed",
+            clients=64,
+            think_time_s=0.05,
+            duration_s=20.0,
+            slo_s=2.0,
+            admission="slo_aware",
+            scale_policy="queue_depth",
+            min_gpus=16,
+            max_gpus=64,
+        )
+
+        sink = ListSink()
+        with Telemetry(sink=sink) as tele:
+            observed = Session(
+                model="3b",
+                num_gpus=16,
+                total_context=32 * 1024,
+                num_steps=1,
+                seed=3,
+                telemetry=tele,
+            ).serve(spec)
+        plain = Session(
+            model="3b", num_gpus=16, total_context=32 * 1024, num_steps=1, seed=3
+        ).serve(spec)
+        assert observed.to_json() == plain.to_json()
+        for event in sink.events:
+            validate_event(event)
+        sheds = [e for e in sink.events if e["type"] == "request_shed"]
+        ups = [e for e in sink.events if e["type"] == "scale_up"]
+        downs = [e for e in sink.events if e["type"] == "scale_down"]
+        assert len(sheds) == observed.shed_count > 0
+        assert len(ups) == observed.scale_up_count > 0
+        assert len(downs) == observed.scale_down_count
+        assert all(e["gpus"] in (16, 32, 64) for e in ups + downs)
+
     def test_cluster_sweep_job_events_and_identity(self, tmp_path):
         sink = ListSink()
         with Telemetry(sink=sink) as tele:

@@ -9,6 +9,7 @@ from repro.api import Session
 from repro.cli import CONFIG_ERROR_EXIT_CODE, build_parser, main
 from repro.results import ServeResult, result_from_dict
 from repro.serve.arrivals import (
+    ClosedLoopArrivals,
     PoissonArrivals,
     Request,
     RequestCell,
@@ -18,7 +19,14 @@ from repro.serve.arrivals import (
 )
 from repro.serve.driver import ServeSimulation
 from repro.serve.metrics import QueueDepthTracker, percentile
-from repro.serve.queue import RequestQueue, as_admission
+from repro.serve.queue import (
+    AdmissionContext,
+    AdmissionPolicy,
+    LegacyAdmissionAdapter,
+    RequestQueue,
+    as_admission,
+)
+from repro.serve.spec import ServeSpec
 
 
 def tiny_session(seed=0, **overrides):
@@ -465,6 +473,265 @@ class TestServeCli:
         out = capsys.readouterr().out
         assert "arrival processes:" in out
         assert "admission policies:" in out
-        assert "poisson" in out and "trace" in out
-        assert "fifo" in out and "priority" in out
+        assert "scale policies:" in out
+        assert "poisson" in out and "trace" in out and "closed" in out
+        assert "fifo" in out and "priority" in out and "slo_aware" in out
+        assert "queue_depth" in out
         assert "fig14_serving" in out
+
+    def test_closed_loop_autoscale_cli_json(self, capsys):
+        cli = SERVE_CLI + [
+            "--arrival", "closed",
+            "--clients", "8",
+            "--think-time", "0.2",
+            "--slo", "3",
+            "--admission", "slo_aware",
+            "--scale-policy", "queue_depth",
+            "--max-gpus", "32",
+            "--json",
+        ]
+        assert main(cli) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["arrival"] == "closed"
+        assert data["admission"] == "slo_aware"
+        assert data["scale_policy"] == "queue_depth"
+        assert data["capacity_timeline"][0] == [0.0, 16]
+        assert data["completed"] + data["shed_count"] == data["num_requests"]
+
+
+class TestServeSpec:
+    def test_spec_and_kwarg_shim_byte_identical(self):
+        spec = ServeSpec(mix=MIX, rate=20.0, duration_s=4.0, slo_s=1.0)
+        via_spec = tiny_session().serve(spec)
+        via_kwargs = tiny_session().serve(MIX, rate=20.0, duration_s=4.0, slo_s=1.0)
+        assert via_spec.to_json() == via_kwargs.to_json()
+
+    def test_spec_rejects_extra_knobs(self):
+        spec = ServeSpec(duration_s=1.0)
+        with pytest.raises(ValueError, match="knobs"):
+            tiny_session().serve(spec, rate=5.0)
+        with pytest.raises(ValueError, match="not both"):
+            ServeSimulation(tiny_session(), MIX, spec=spec)
+
+    def test_validation_on_construction(self):
+        with pytest.raises(ValueError):
+            ServeSpec(duration_s=0.0)
+        with pytest.raises(ValueError):
+            ServeSpec(slo_s=-1.0)
+        with pytest.raises(ValueError):
+            ServeSpec(coalesce_s=-0.1)
+        with pytest.raises(ValueError):
+            ServeSpec(clients=0)
+        with pytest.raises(ValueError, match="min_gpus"):
+            ServeSpec(min_gpus=64, max_gpus=16)
+        with pytest.raises(TypeError):
+            ServeSpec(bogus_knob=1)
+
+    def test_canonical_identity_and_replace(self):
+        spec = ServeSpec(mix=MIX, arrival="closed", clients=8)
+        again = ServeSpec(mix=MIX, arrival="closed", clients=8)
+        assert spec.canonical_json() == again.canonical_json()
+        bigger = spec.replace(clients=16)
+        assert bigger.clients == 16
+        assert bigger.canonical_json() != spec.canonical_json()
+        data = spec.to_dict()
+        assert data["arrival"] == "closed"
+        assert data["admission"] == "fifo"
+        json.dumps(data)  # JSON-safe
+
+    def test_component_instances_collapse_to_names(self):
+        spec = ServeSpec(arrival=PoissonArrivals(rate=3.0), admission="priority")
+        assert spec.to_dict()["arrival"] == "poisson"
+        assert spec.build_arrival().rate == 3.0
+
+
+class TestClosedLoop:
+    def test_runs_are_byte_identical_per_seed(self):
+        spec = ServeSpec(
+            mix=MIX, arrival="closed", clients=8, think_time_s=0.3, duration_s=6.0
+        )
+        a = tiny_session().serve(spec)
+        b = tiny_session().serve(spec)
+        assert a.arrival == "closed"
+        assert a.to_json() == b.to_json()
+        c = tiny_session(seed=1).serve(spec)
+        assert a.to_json() != c.to_json()
+
+    def test_clients_pace_on_their_own_completions(self):
+        sim = ServeSimulation(
+            tiny_session(),
+            spec=ServeSpec(
+                mix={"zeppelin": 1.0},
+                arrival="closed",
+                clients=4,
+                think_time_s=0.2,
+                duration_s=5.0,
+            ),
+        )
+        sim.run()
+        assert sim.requests and all(r.client is not None for r in sim.requests)
+        by_client = {}
+        for request in sim.requests:
+            by_client.setdefault(request.client, []).append(request)
+        assert len(by_client) <= 4
+        for series in by_client.values():
+            # A client's next request is issued only after its previous one
+            # finished (or was shed) — never overlapping itself.
+            for prev, nxt in zip(series, series[1:]):
+                assert prev.finish_s is None or nxt.arrival_s > prev.finish_s
+        # No arrivals past the horizon; completions may drain later.
+        assert all(r.arrival_s < 5.0 for r in sim.requests)
+
+    def test_pool_size_scales_offered_load(self):
+        small = tiny_session().serve(
+            ServeSpec(mix=MIX, arrival="closed", clients=2, duration_s=6.0)
+        )
+        large = tiny_session().serve(
+            ServeSpec(mix=MIX, arrival="closed", clients=32, duration_s=6.0)
+        )
+        assert large.num_requests > 3 * small.num_requests
+
+    def test_closed_arrival_has_no_precomputed_schedule(self):
+        process = ClosedLoopArrivals(clients=3, think_time_s=0.5)
+        assert process.schedule(as_mix(MIX), 5.0, seed=0) == ()
+        clients = process.clients(as_mix(MIX), seed=0)
+        assert [c.cid for c in clients] == [0, 1, 2]
+        with pytest.raises(NotImplementedError):
+            process.arrival_times(5.0, random.Random(0))
+
+
+class TestSloAwareAdmission:
+    TIGHT = ServeSpec(
+        mix={"zeppelin": 1.0},
+        arrival="closed",
+        think_time_s=0.05,
+        duration_s=6.0,
+        slo_s=0.5,
+        admission="slo_aware",
+        clients=4,  # overridden per test via replace()
+    )
+
+    def test_shed_requests_never_execute_and_are_counted(self):
+        result = tiny_session().serve(self.TIGHT.replace(clients=32))
+        assert result.shed_count > 0
+        assert result.completed + result.shed_count == result.num_requests
+        assert result.admission == "slo_aware"
+
+    def test_shed_rate_monotone_under_rising_load(self):
+        rates = []
+        for clients in (2, 16, 96):
+            result = tiny_session().serve(self.TIGHT.replace(clients=clients))
+            rates.append(result.shed_count / result.num_requests)
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]
+
+    def test_goodput_counts_only_slo_meeting_completions(self):
+        result = tiny_session().serve(self.TIGHT.replace(clients=16))
+        assert result.goodput_rps <= result.throughput_rps
+
+    def test_unseen_cell_admitted_optimistically(self):
+        policy = as_admission("slo_aware")
+        ctx = AdmissionContext(slo_s=0.1, cost_estimate=lambda cell: None)
+        request = Request(rid=0, arrival_s=0.0, cell=RequestCell("zeppelin"))
+        assert policy.admit(request, ctx)
+        # Known-too-expensive cell is shed.
+        ctx = AdmissionContext(slo_s=0.1, cost_estimate=lambda cell: 5.0)
+        assert not policy.admit(request, ctx)
+
+
+class TestLegacyAdmissionShim:
+    class OldStyle(AdmissionPolicy):
+        name = "old_style"
+
+        def key(self, request):  # pre-AdmissionContext signature
+            return (request.arrival_s, request.rid)
+
+    def test_old_signature_wrapped_with_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="key\\(request\\)"):
+            policy = as_admission(self.OldStyle())
+        assert isinstance(policy, LegacyAdmissionAdapter)
+        assert policy.name == "old_style"
+        request = Request(rid=3, arrival_s=1.5, cell=RequestCell("zeppelin"))
+        assert policy.key(request, AdmissionContext()) == (1.5, 3)
+        assert policy.admit(request, AdmissionContext())
+
+    def test_wrapped_policy_serves_a_run(self):
+        with pytest.warns(DeprecationWarning):
+            result = tiny_session().serve(
+                MIX, rate=10.0, duration_s=2.0, admission=self.OldStyle()
+            )
+        assert result.admission == "old_style"
+        assert result.completed == result.num_requests
+
+    def test_new_style_policies_are_not_wrapped(self):
+        assert not isinstance(as_admission("fifo"), LegacyAdmissionAdapter)
+        assert not isinstance(as_admission("slo_aware"), LegacyAdmissionAdapter)
+
+
+class TestDeadlineBatcher:
+    def test_coalescing_grows_batches(self):
+        base = ServeSpec(mix={"zeppelin": 1.0}, rate=20.0, duration_s=4.0)
+        held = tiny_session().serve(base.replace(coalesce_s=0.25))
+        eager = tiny_session().serve(base)
+        assert held.batched_requests > eager.batched_requests
+        assert held.completed == held.num_requests
+
+    def test_deadline_slack_caps_the_hold(self):
+        # With a near-zero SLO the slack is ~0 once the cell's cost estimate
+        # exists, so far fewer dispatches may be held than the window alone
+        # would allow (the estimate-free warmup still coalesces optimistically).
+        base = ServeSpec(mix={"zeppelin": 1.0}, rate=20.0, duration_s=4.0)
+        held = tiny_session().serve(base.replace(coalesce_s=0.25))
+        tight = tiny_session().serve(base.replace(coalesce_s=0.25, slo_s=1e-9))
+        assert tight.batched_requests < held.batched_requests
+        assert tight.completed == tight.num_requests
+
+
+class TestAutoscale:
+    SPEC = ServeSpec(
+        mix={"zeppelin": 1.0},
+        arrival="closed",
+        clients=64,
+        think_time_s=0.05,
+        duration_s=20.0,
+        scale_policy="queue_depth",
+        min_gpus=16,
+        max_gpus=64,
+    )
+
+    def test_grow_shrink_round_trip_returns_to_baseline(self):
+        result = tiny_session(seed=3).serve(self.SPEC)
+        timeline = result.capacity_timeline
+        assert timeline[0] == (0.0, 16)
+        assert timeline[-1][1] == 16  # back at baseline capacity
+        assert max(gpus for _, gpus in timeline) > 16  # it actually grew
+        assert result.scale_up_count == result.scale_down_count >= 1
+        assert result.scale_policy == "queue_depth"
+
+    def test_autoscale_runs_are_byte_identical(self):
+        a = tiny_session(seed=3).serve(self.SPEC)
+        b = tiny_session(seed=3).serve(self.SPEC)
+        assert a.to_json() == b.to_json()
+
+    def test_capacity_moves_on_doubling_ladder(self):
+        result = tiny_session(seed=3).serve(self.SPEC)
+        gpus = [g for _, g in result.capacity_timeline]
+        assert set(gpus) <= {16, 32, 64}
+        for prev, nxt in zip(gpus, gpus[1:]):
+            assert nxt in (prev * 2, prev // 2)  # one rung per step
+
+    def test_fixed_capacity_without_policy(self):
+        result = tiny_session().serve(
+            ServeSpec(mix={"zeppelin": 1.0}, rate=10.0, duration_s=2.0)
+        )
+        assert result.scale_policy is None
+        assert result.capacity_timeline == ()
+        assert result.scale_up_count == result.scale_down_count == 0
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="ladder|bounds"):
+            tiny_session().serve(
+                self.SPEC.replace(min_gpus=32, max_gpus=64)
+            )  # base 16 below the floor
+        with pytest.raises(ValueError, match="multiple"):
+            tiny_session().serve(self.SPEC.replace(max_gpus=20))
